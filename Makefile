@@ -1,0 +1,35 @@
+# Local targets mirror .github/workflows/ci.yml so CI and dev runs are
+# identical.
+
+GO ?= go
+
+.PHONY: all build vet test bench bench-json lint clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x ./...
+
+bench-json:
+	./scripts/bench.sh
+
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
+
+clean:
+	$(GO) clean ./...
+	rm -f bench_*.json BENCH_*.json

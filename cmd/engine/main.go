@@ -1,0 +1,302 @@
+// Command engine is the CLI front end of the sketch/index/query engine.
+//
+// Usage:
+//
+//	engine sketch -o index.json [flags] file...   sketch files into an index
+//	engine dist [flags] file...                   all-vs-all pairwise distances
+//	engine search -d index.json [flags] file...   top-K similarity search
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sketchengine/internal/core"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) == 0 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch argv[0] {
+	case "sketch":
+		err = cmdSketch(argv[1:], stdout, stderr)
+	case "dist":
+		err = cmdDist(argv[1:], stdout, stderr)
+	case "search":
+		err = cmdSearch(argv[1:], stdout, stderr)
+	case "version", "-version", "--version":
+		fmt.Fprintf(stdout, "engine %s\n", core.Version)
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+	default:
+		fmt.Fprintf(stderr, "engine: unknown command %q\n", argv[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// Asking for help is not an error; match `engine help`.
+			return 0
+		}
+		if errors.Is(err, errFlagParse) {
+			// The FlagSet already reported the problem on stderr.
+			return 2
+		}
+		fmt.Fprintf(stderr, "engine: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// errFlagParse marks flag-parse failures already reported by the FlagSet.
+var errFlagParse = errors.New("flag parse error")
+
+func parseFlags(fs *flag.FlagSet, argv []string) error {
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return errFlagParse
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `engine - sketch/index/query engine
+
+Commands:
+  sketch   sketch input files into a JSON index (incremental; existing names are skipped)
+  dist     all-vs-all pairwise distances between input files
+  search   top-K similarity search of query files against a saved index
+  version  print the engine version
+
+Run "engine <command> -h" for per-command flags.
+`)
+}
+
+// sketchFlags adds the flags shared by all subcommands.
+func sketchFlags(fs *flag.FlagSet) (k, size, threads *int) {
+	k = fs.Int("k", core.DefaultK, "shingle (k-mer) length")
+	size = fs.Int("size", core.DefaultSignatureSize, "minhash signature size (slots)")
+	threads = fs.Int("threads", 0, "worker pool size (0 = GOMAXPROCS)")
+	return
+}
+
+func cmdSketch(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sketch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	k, size, threads := sketchFlags(fs)
+	out := fs.String("o", "index.json", "output index path (loaded first if it exists)")
+	name := fs.String("name", "default", "index name (new indexes only)")
+	if err := parseFlags(fs, argv); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("sketch: no input files")
+	}
+
+	ix, err := loadOrCreateIndex(*out, *name, *k, *size)
+	if err != nil {
+		return err
+	}
+	meta := ix.Metadata()
+	flagSet := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
+	if (flagSet["k"] && meta.K != *k) || (flagSet["size"] && meta.SignatureSize != *size) {
+		fmt.Fprintf(stderr, "engine: sketch: existing index %q uses k=%d size=%d; ignoring -k/-size flags\n",
+			meta.Name, meta.K, meta.SignatureSize)
+	}
+	if flagSet["name"] && meta.Name != *name {
+		fmt.Fprintf(stderr, "engine: sketch: existing index is named %q; ignoring -name %q\n",
+			meta.Name, *name)
+	}
+	eng, err := core.NewEngineWithIndex(ix, *threads)
+	if err != nil {
+		return err
+	}
+
+	recs, err := readRecords(fs.Args())
+	if err != nil {
+		return err
+	}
+	// Skip already-indexed names before sketching so incremental runs
+	// don't pay the minhash cost for records that will be discarded.
+	added, skipped := 0, 0
+	fresh := recs[:0]
+	for _, rec := range recs {
+		if ix.Get(rec.Name) != nil {
+			skipped++
+			fmt.Fprintf(stdout, "skip\t%s\t(already indexed)\n", rec.Name)
+			continue
+		}
+		fresh = append(fresh, rec)
+	}
+	sketches := make([]*core.Sketch, len(fresh))
+	eng.Pool().Map(len(fresh), func(i int) {
+		sketches[i] = eng.Sketcher().Sketch(fresh[i])
+	})
+	for _, s := range sketches {
+		ok, err := ix.Add(s)
+		if err != nil {
+			return err
+		}
+		if ok {
+			added++
+		} else {
+			skipped++
+			fmt.Fprintf(stdout, "skip\t%s\t(already indexed)\n", s.Name)
+		}
+	}
+	if err := saveIndex(ix, *out); err != nil {
+		return err
+	}
+	meta = ix.Metadata()
+	fmt.Fprintf(stdout, "index\t%s\trecords=%d\tadded=%d\tskipped=%d\tk=%d\tsize=%d\n",
+		meta.Name, meta.RecordCount, added, skipped, meta.K, meta.SignatureSize)
+	return nil
+}
+
+func cmdDist(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dist", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	k, size, threads := sketchFlags(fs)
+	if err := parseFlags(fs, argv); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("dist: need at least two input files")
+	}
+	sketcher, err := core.NewSketcher(*k, *size)
+	if err != nil {
+		return err
+	}
+	recs, err := readRecords(fs.Args())
+	if err != nil {
+		return err
+	}
+	pool := core.NewPool(*threads)
+	sketches := make([]*core.Sketch, len(recs))
+	pool.Map(len(recs), func(i int) {
+		sketches[i] = sketcher.Sketch(recs[i])
+	})
+	results, err := core.PairwiseDistances(sketches, pool)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "a\tb\tsimilarity\tdistance")
+	for _, r := range results {
+		fmt.Fprintf(stdout, "%s\t%s\t%.4f\t%.4f\n", r.Query, r.Ref, r.Similarity, r.Distance)
+	}
+	return nil
+}
+
+func cmdSearch(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	// No -k/-size here: queries are always sketched with the index's own
+	// parameters (see below).
+	threads := fs.Int("threads", 0, "worker pool size (0 = GOMAXPROCS)")
+	db := fs.String("d", "", "index file to search (required)")
+	topK := fs.Int("top", 5, "maximum results per query")
+	minSim := fs.Float64("min", 0, "minimum similarity to report")
+	if err := parseFlags(fs, argv); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("search: -d index file is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("search: no query files")
+	}
+	f, err := os.Open(*db)
+	if err != nil {
+		return fmt.Errorf("search: %w", err)
+	}
+	ix, err := core.LoadIndex(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	// The engine derives sketch parameters from the index metadata, so
+	// queries are always sketched compatibly.
+	eng, err := core.NewEngineWithIndex(ix, *threads)
+	if err != nil {
+		return err
+	}
+	recs, err := readRecords(fs.Args())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "query\tref\trank\tsimilarity\tdistance")
+	for _, rec := range recs {
+		results, err := eng.Search(rec, *topK, *minSim)
+		if err != nil {
+			return err
+		}
+		for rank, r := range results {
+			fmt.Fprintf(stdout, "%s\t%s\t%d\t%.4f\t%.4f\n",
+				r.Query, r.Ref, rank+1, r.Similarity, r.Distance)
+		}
+	}
+	return nil
+}
+
+func loadOrCreateIndex(path, name string, k, size int) (*core.Index, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return core.NewIndex(name, k, size), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	return core.LoadIndex(f)
+}
+
+func saveIndex(ix *core.Index, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("index: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// readRecords loads each path as one record named by its base name.
+func readRecords(paths []string) ([]core.Record, error) {
+	recs := make([]core.Record, 0, len(paths))
+	seen := make(map[string]string, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		name := filepath.Base(p)
+		if prev, dup := seen[name]; dup {
+			return nil, fmt.Errorf("duplicate record name %q (from %s and %s)", name, prev, p)
+		}
+		seen[name] = p
+		recs = append(recs, core.Record{Name: name, Data: data})
+	}
+	return recs, nil
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+func testdata(name string) string { return filepath.Join("testdata", name) }
+
+// TestCLIGolden drives the full sketch -> search -> dist pipeline over
+// committed testdata and compares output against a golden file. Sketch
+// hashing is deterministic, so the output is byte-stable.
+func TestCLIGolden(t *testing.T) {
+	dir := t.TempDir()
+	index := filepath.Join(dir, "index.json")
+
+	var out strings.Builder
+
+	stdout, stderr, code := runCLI(t, "sketch", "-o", index, "-name", "golden",
+		testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt"))
+	if code != 0 {
+		t.Fatalf("sketch failed (%d): %s", code, stderr)
+	}
+	out.WriteString("== sketch ==\n" + stdout)
+
+	// Re-sketching one file must skip it, leaving the index unchanged.
+	stdout, stderr, code = runCLI(t, "sketch", "-o", index, testdata("alpha.txt"))
+	if code != 0 {
+		t.Fatalf("incremental sketch failed (%d): %s", code, stderr)
+	}
+	out.WriteString("== sketch again ==\n" + stdout)
+
+	stdout, stderr, code = runCLI(t, "search", "-d", index, "-top", "2", "-threads", "2",
+		testdata("beta.txt"))
+	if code != 0 {
+		t.Fatalf("search failed (%d): %s", code, stderr)
+	}
+	out.WriteString("== search ==\n" + stdout)
+
+	stdout, stderr, code = runCLI(t, "dist", "-threads", "2",
+		testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt"))
+	if code != 0 {
+		t.Fatalf("dist failed (%d): %s", code, stderr)
+	}
+	out.WriteString("== dist ==\n" + stdout)
+
+	golden := testdata("cli_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("CLI output differs from golden file.\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+func TestCLIThreadsFlag(t *testing.T) {
+	// Output must be identical regardless of worker count.
+	var outputs []string
+	for _, threads := range []string{"1", "4"} {
+		stdout, stderr, code := runCLI(t, "dist", "-threads", threads,
+			testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt"))
+		if code != 0 {
+			t.Fatalf("dist -threads %s failed (%d): %s", threads, code, stderr)
+		}
+		outputs = append(outputs, stdout)
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("output depends on thread count:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"unknown command", []string{"frobnicate"}},
+		{"sketch no files", []string{"sketch", "-o", "/tmp/nope.json"}},
+		{"dist one file", []string{"dist", testdata("alpha.txt")}},
+		{"search missing -d", []string{"search", testdata("alpha.txt")}},
+		{"search no queries", []string{"search", "-d", testdata("alpha.txt")}},
+		{"search bad index", []string{"search", "-d", testdata("alpha.txt"), testdata("beta.txt")}},
+		{"missing input", []string{"dist", "testdata/does-not-exist.txt", testdata("alpha.txt")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := runCLI(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("want nonzero exit, got 0 (stderr: %s)", stderr)
+			}
+			if stderr == "" {
+				t.Fatal("want error message on stderr")
+			}
+		})
+	}
+}
+
+func TestCLIVersion(t *testing.T) {
+	stdout, _, code := runCLI(t, "version")
+	if code != 0 || !strings.HasPrefix(stdout, "engine ") {
+		t.Fatalf("version: code=%d stdout=%q", code, stdout)
+	}
+}
+
+func TestCLIDuplicateRecordNames(t *testing.T) {
+	// Two paths with the same base name would silently collide; the CLI
+	// must reject them.
+	dir := t.TempDir()
+	dup := filepath.Join(dir, "alpha.txt")
+	if err := os.WriteFile(dup, []byte("different content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runCLI(t, "dist", testdata("alpha.txt"), dup)
+	if code == 0 || !strings.Contains(stderr, "duplicate record name") {
+		t.Fatalf("want duplicate-name error, got code=%d stderr=%q", code, stderr)
+	}
+}

@@ -1,0 +1,3 @@
+module sketchengine
+
+go 1.24

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchData returns n bytes of deterministic pseudo-random payload.
+func benchData(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte('a' + rng.Intn(26))
+	}
+	return data
+}
+
+func BenchmarkSketch(b *testing.B) {
+	for _, size := range []int{1 << 10, 16 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			s, err := NewSketcher(DefaultK, DefaultSignatureSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := Record{Name: "bench", Data: benchData(size, 1)}
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Sketch(rec)
+			}
+		})
+	}
+}
+
+func BenchmarkSimilarity(b *testing.B) {
+	s, err := NewSketcher(DefaultK, DefaultSignatureSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := s.Sketch(Record{Name: "x", Data: benchData(4<<10, 2)})
+	y := s.Sketch(Record{Name: "y", Data: benchData(4<<10, 3)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Similarity(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchIndex(b *testing.B, n int) (*Index, *Sketch) {
+	b.Helper()
+	s, err := NewSketcher(DefaultK, DefaultSignatureSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := NewIndex("bench", DefaultK, DefaultSignatureSize)
+	for i := 0; i < n; i++ {
+		rec := Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(2<<10, int64(i+10))}
+		if _, err := ix.Add(s.Sketch(rec)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ix, s.Sketch(Record{Name: "query", Data: benchData(2<<10, 10)})
+}
+
+func BenchmarkSearchTopK(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		ix, q := benchIndex(b, n)
+		for _, threads := range []int{1, 0} { // 0 = GOMAXPROCS
+			name := fmt.Sprintf("n=%d/threads=%d", n, threads)
+			if threads == 0 {
+				name = fmt.Sprintf("n=%d/threads=max", n)
+			}
+			b.Run(name, func(b *testing.B) {
+				pool := NewPool(threads)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := SearchTopK(ix, q, 10, 0, pool); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPairwiseDistances(b *testing.B) {
+	s, err := NewSketcher(DefaultK, DefaultSignatureSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	sketches := make([]*Sketch, n)
+	for i := range sketches {
+		sketches[i] = s.Sketch(Record{Name: fmt.Sprintf("s%d", i), Data: benchData(2<<10, int64(i+100))})
+	}
+	for _, threads := range []int{1, 0} {
+		name := fmt.Sprintf("threads=%d", threads)
+		if threads == 0 {
+			name = "threads=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			pool := NewPool(threads)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := PairwiseDistances(sketches, pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,1 +1,96 @@
+// Package core implements the sketch/index/query engine at the heart of
+// sketchengine.
+//
+// The pipeline has three stages:
+//
+//  1. Sketching: input records are shingled with a rolling hash and
+//     compressed into compact fixed-size minhash signatures (see Sketcher).
+//  2. Indexing: signatures live in an in-memory Index alongside JSON
+//     metadata (name, created/updated timestamps, record count) with
+//     incremental add / skip-existing semantics.
+//  3. Querying: pairwise-distance and top-K similarity queries fan out
+//     over a bounded worker pool sized to GOMAXPROCS (see Pool).
 package core
+
+import "fmt"
+
+// Version identifies the engine build. It is reported by the CLI and
+// stamped into saved index metadata.
+const Version = "0.1.0"
+
+// Options configures an Engine. Zero values fall back to the package
+// defaults (DefaultK, DefaultSignatureSize, GOMAXPROCS workers).
+type Options struct {
+	// K is the shingle (k-mer) length used when sketching records.
+	K int
+	// SignatureSize is the number of minhash slots per signature.
+	SignatureSize int
+	// Threads bounds the worker pool; <= 0 means GOMAXPROCS.
+	Threads int
+	// IndexName names the index created by the engine.
+	IndexName string
+}
+
+// Engine ties the three pipeline stages together behind one entry point.
+// It is safe for concurrent use: the index is internally locked and the
+// sketcher and pool are stateless after construction.
+type Engine struct {
+	sketcher *Sketcher
+	index    *Index
+	pool     *Pool
+}
+
+// NewEngine builds an Engine from opts, applying defaults for zero fields.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.K == 0 {
+		opts.K = DefaultK
+	}
+	if opts.SignatureSize == 0 {
+		opts.SignatureSize = DefaultSignatureSize
+	}
+	if opts.IndexName == "" {
+		opts.IndexName = "default"
+	}
+	sk, err := NewSketcher(opts.K, opts.SignatureSize)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return &Engine{
+		sketcher: sk,
+		index:    NewIndex(opts.IndexName, opts.K, opts.SignatureSize),
+		pool:     NewPool(opts.Threads),
+	}, nil
+}
+
+// NewEngineWithIndex wraps an existing index (e.g. one returned by
+// LoadIndex), deriving the sketcher parameters from the index metadata
+// so queries are always sketched compatibly.
+func NewEngineWithIndex(ix *Index, threads int) (*Engine, error) {
+	meta := ix.Metadata()
+	sk, err := NewSketcher(meta.K, meta.SignatureSize)
+	if err != nil {
+		return nil, fmt.Errorf("engine: index %q: %w", meta.Name, err)
+	}
+	return &Engine{sketcher: sk, index: ix, pool: NewPool(threads)}, nil
+}
+
+// Sketcher returns the engine's sketcher.
+func (e *Engine) Sketcher() *Sketcher { return e.sketcher }
+
+// Index returns the engine's index.
+func (e *Engine) Index() *Index { return e.index }
+
+// Pool returns the engine's worker pool.
+func (e *Engine) Pool() *Pool { return e.pool }
+
+// Add sketches rec and adds it to the index. It reports whether the
+// record was added (false means a record with the same name already
+// existed and was skipped).
+func (e *Engine) Add(rec Record) (bool, error) {
+	return e.index.Add(e.sketcher.Sketch(rec))
+}
+
+// Search sketches rec and returns its top-K nearest index entries.
+func (e *Engine) Search(rec Record, topK int, minSim float64) ([]Result, error) {
+	return SearchTopK(e.index, e.sketcher.Sketch(rec), topK, minSim, e.pool)
+}

@@ -1,0 +1,50 @@
+package core
+
+import "fmt"
+
+// Result is one query/reference comparison.
+type Result struct {
+	Query      string  `json:"query"`
+	Ref        string  `json:"ref"`
+	Similarity float64 `json:"similarity"`
+	Distance   float64 `json:"distance"`
+}
+
+// Similarity estimates the Jaccard similarity of the sets underlying
+// two sketches as the fraction of matching minhash slots. Sketches with
+// zero shingles (records shorter than K) are dissimilar to everything.
+func Similarity(a, b *Sketch) (float64, error) {
+	if err := compatible(a, b); err != nil {
+		return 0, err
+	}
+	if a.Shingles == 0 || b.Shingles == 0 {
+		return 0, nil
+	}
+	match := 0
+	for i := range a.Signature {
+		if a.Signature[i] == b.Signature[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a.Signature)), nil
+}
+
+// Distance is 1 - Similarity.
+func Distance(a, b *Sketch) (float64, error) {
+	sim, err := Similarity(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - sim, nil
+}
+
+func compatible(a, b *Sketch) error {
+	if a.K != b.K {
+		return fmt.Errorf("sketch: incompatible k: %d vs %d", a.K, b.K)
+	}
+	if len(a.Signature) != len(b.Signature) {
+		return fmt.Errorf("sketch: incompatible signature sizes: %d vs %d",
+			len(a.Signature), len(b.Signature))
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestNewEngineDefaults(t *testing.T) {
+	e, err := NewEngine(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Sketcher().K() != DefaultK || e.Sketcher().SignatureSize() != DefaultSignatureSize {
+		t.Fatalf("sketcher params = (%d, %d), want defaults (%d, %d)",
+			e.Sketcher().K(), e.Sketcher().SignatureSize(), DefaultK, DefaultSignatureSize)
+	}
+	meta := e.Index().Metadata()
+	if meta.Name != "default" || meta.K != DefaultK || meta.SignatureSize != DefaultSignatureSize {
+		t.Fatalf("index metadata = %+v", meta)
+	}
+	if e.Pool().Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("pool workers = %d, want GOMAXPROCS", e.Pool().Workers())
+	}
+	if _, err := NewEngine(Options{K: -1}); err == nil {
+		t.Fatal("invalid options: want error")
+	}
+}
+
+func TestNewEngineWithIndex(t *testing.T) {
+	ix := NewIndex("wrapped", 4, 32)
+	e, err := NewEngineWithIndex(ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Index() != ix {
+		t.Fatal("engine does not wrap the given index")
+	}
+	if e.Sketcher().K() != 4 || e.Sketcher().SignatureSize() != 32 {
+		t.Fatalf("sketcher params = (%d, %d), want index params (4, 32)",
+			e.Sketcher().K(), e.Sketcher().SignatureSize())
+	}
+	if e.Pool().Workers() != 2 {
+		t.Fatalf("pool workers = %d, want 2", e.Pool().Workers())
+	}
+	if _, err := NewEngineWithIndex(NewIndex("bad", -1, 32), 0); err == nil {
+		t.Fatal("invalid index params: want error")
+	}
+}
+
+func TestEngineAddAndSearch(t *testing.T) {
+	e, err := NewEngine(Options{K: 4, SignatureSize: 64, Threads: 2, IndexName: "facade"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []Record{
+		{Name: "close", Data: []byte("shared payload text that mostly overlaps with the query data")},
+		{Name: "far", Data: []byte("zzz 999 ### totally different bytes with nothing in common !!!")},
+	}
+	for _, rec := range refs {
+		added, err := e.Add(rec)
+		if err != nil || !added {
+			t.Fatalf("Add(%q) = %v, %v; want true, nil", rec.Name, added, err)
+		}
+	}
+	// Duplicate add through the facade is skipped.
+	added, err := e.Add(refs[0])
+	if err != nil || added {
+		t.Fatalf("duplicate Add = %v, %v; want false, nil", added, err)
+	}
+	results, err := e.Search(Record{
+		Name: "q",
+		Data: []byte("shared payload text that mostly overlaps with the query info"),
+	}, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Ref != "close" || results[0].Similarity <= results[1].Similarity {
+		t.Fatalf("results = %v, want close ranked first", results)
+	}
+}

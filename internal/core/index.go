@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metadata describes an index; it is embedded in the JSON serialization
+// and kept current as records are added.
+type Metadata struct {
+	Name          string    `json:"name"`
+	Version       string    `json:"version"`
+	CreatedAt     time.Time `json:"created_at"`
+	UpdatedAt     time.Time `json:"updated_at"`
+	RecordCount   int       `json:"record_count"`
+	K             int       `json:"k"`
+	SignatureSize int       `json:"signature_size"`
+}
+
+// Index is an in-memory store of sketches keyed by record name. All
+// methods are safe for concurrent use. Adds are incremental: a sketch
+// whose name is already present is skipped, never overwritten.
+type Index struct {
+	mu       sync.RWMutex
+	meta     Metadata
+	sketches map[string]*Sketch
+	names    []string // insertion order, for deterministic iteration
+}
+
+// NewIndex returns an empty index accepting sketches with the given
+// shingle length and signature size.
+func NewIndex(name string, k, sigSize int) *Index {
+	now := time.Now().UTC()
+	return &Index{
+		meta: Metadata{
+			Name:          name,
+			Version:       Version,
+			CreatedAt:     now,
+			UpdatedAt:     now,
+			K:             k,
+			SignatureSize: sigSize,
+		},
+		sketches: make(map[string]*Sketch),
+	}
+}
+
+// Add inserts s if no record with the same name exists. It reports
+// whether the sketch was added; false with a nil error means the name
+// already existed and the add was skipped.
+func (ix *Index) Add(s *Sketch) (bool, error) {
+	if s.Name == "" {
+		return false, fmt.Errorf("index: sketch has empty name")
+	}
+	if s.K != ix.meta.K {
+		return false, fmt.Errorf("index %q: sketch k %d does not match index k %d",
+			ix.meta.Name, s.K, ix.meta.K)
+	}
+	if len(s.Signature) != ix.meta.SignatureSize {
+		return false, fmt.Errorf("index %q: signature size %d does not match index size %d",
+			ix.meta.Name, len(s.Signature), ix.meta.SignatureSize)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.sketches[s.Name]; exists {
+		return false, nil
+	}
+	ix.sketches[s.Name] = s
+	ix.names = append(ix.names, s.Name)
+	ix.meta.RecordCount = len(ix.sketches)
+	ix.meta.UpdatedAt = time.Now().UTC()
+	return true, nil
+}
+
+// Get returns the sketch named name, or nil if absent.
+func (ix *Index) Get(name string) *Sketch {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.sketches[name]
+}
+
+// Len returns the number of indexed records.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.sketches)
+}
+
+// Names returns record names in insertion order.
+func (ix *Index) Names() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, len(ix.names))
+	copy(out, ix.names)
+	return out
+}
+
+// Metadata returns a snapshot of the index metadata.
+func (ix *Index) Metadata() Metadata {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.meta
+}
+
+// snapshot returns the sketches in insertion order without copying the
+// sketches themselves (they are immutable once added).
+func (ix *Index) snapshot() []*Sketch {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]*Sketch, 0, len(ix.names))
+	for _, n := range ix.names {
+		out = append(out, ix.sketches[n])
+	}
+	return out
+}
+
+// indexFile is the JSON serialization of an Index.
+type indexFile struct {
+	Meta     Metadata  `json:"meta"`
+	Sketches []*Sketch `json:"sketches"`
+}
+
+// Save writes the index as JSON.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	f := indexFile{Meta: ix.meta, Sketches: make([]*Sketch, 0, len(ix.names))}
+	for _, n := range ix.names {
+		f.Sketches = append(f.Sketches, ix.sketches[n])
+	}
+	ix.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// LoadIndex reads an index previously written by Save.
+func LoadIndex(r io.Reader) (*Index, error) {
+	var f indexFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	if f.Meta.K <= 0 || f.Meta.SignatureSize <= 0 {
+		return nil, fmt.Errorf("index: invalid metadata: k=%d signature_size=%d",
+			f.Meta.K, f.Meta.SignatureSize)
+	}
+	ix := &Index{meta: f.Meta, sketches: make(map[string]*Sketch, len(f.Sketches))}
+	for _, s := range f.Sketches {
+		if s.Name == "" {
+			return nil, fmt.Errorf("index: sketch with empty name")
+		}
+		if s.K != f.Meta.K {
+			return nil, fmt.Errorf("index: sketch %q k %d does not match metadata k %d",
+				s.Name, s.K, f.Meta.K)
+		}
+		if len(s.Signature) != f.Meta.SignatureSize {
+			return nil, fmt.Errorf("index: sketch %q signature size %d does not match metadata %d",
+				s.Name, len(s.Signature), f.Meta.SignatureSize)
+		}
+		if _, dup := ix.sketches[s.Name]; dup {
+			return nil, fmt.Errorf("index: duplicate sketch name %q", s.Name)
+		}
+		ix.sketches[s.Name] = s
+		ix.names = append(ix.names, s.Name)
+	}
+	ix.meta.RecordCount = len(ix.sketches)
+	return ix, nil
+}
+
+// sortResults orders by descending similarity, breaking ties by ref
+// name so output is deterministic.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Similarity != rs[j].Similarity {
+			return rs[i].Similarity > rs[j].Similarity
+		}
+		if rs[i].Query != rs[j].Query {
+			return rs[i].Query < rs[j].Query
+		}
+		return rs[i].Ref < rs[j].Ref
+	})
+}

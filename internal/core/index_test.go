@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEmptyIndex(t *testing.T) {
+	ix := NewIndex("empty", DefaultK, DefaultSignatureSize)
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ix.Len())
+	}
+	if got := ix.Names(); len(got) != 0 {
+		t.Fatalf("Names = %v, want empty", got)
+	}
+	if ix.Get("missing") != nil {
+		t.Fatal("Get on empty index: want nil")
+	}
+	s := mustSketcher(t, DefaultK, DefaultSignatureSize)
+	q := s.Sketch(Record{Name: "q", Data: []byte("some query data here")})
+	results, err := SearchTopK(ix, q, 5, 0, nil)
+	if err != nil {
+		t.Fatalf("SearchTopK on empty index: %v", err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %v, want none", results)
+	}
+	meta := ix.Metadata()
+	if meta.RecordCount != 0 || meta.Name != "empty" || meta.Version != Version {
+		t.Fatalf("metadata = %+v", meta)
+	}
+}
+
+func TestDuplicateAddsSkipped(t *testing.T) {
+	ix := NewIndex("dup", 4, 32)
+	s := mustSketcher(t, 4, 32)
+	sk := s.Sketch(Record{Name: "rec", Data: []byte("hello world hello world")})
+
+	added, err := ix.Add(sk)
+	if err != nil || !added {
+		t.Fatalf("first add = %v, %v; want true, nil", added, err)
+	}
+	// Second add with the same name must be skipped, not overwrite.
+	other := s.Sketch(Record{Name: "rec", Data: []byte("totally different payload")})
+	added, err = ix.Add(other)
+	if err != nil {
+		t.Fatalf("duplicate add: %v", err)
+	}
+	if added {
+		t.Fatal("duplicate add reported added=true")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ix.Len())
+	}
+	if got := ix.Get("rec"); !equalSig(got.Signature, sk.Signature) {
+		t.Fatal("duplicate add overwrote the original sketch")
+	}
+	if ix.Metadata().RecordCount != 1 {
+		t.Fatalf("RecordCount = %d, want 1", ix.Metadata().RecordCount)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	ix := NewIndex("v", 8, 64)
+	if _, err := ix.Add(&Sketch{Name: "", K: 8, Signature: make([]uint64, 64)}); err == nil {
+		t.Fatal("empty name: want error")
+	}
+	if _, err := ix.Add(&Sketch{Name: "x", K: 4, Signature: make([]uint64, 64)}); err == nil {
+		t.Fatal("mismatched k: want error")
+	}
+	if _, err := ix.Add(&Sketch{Name: "x", K: 8, Signature: make([]uint64, 32)}); err == nil {
+		t.Fatal("mismatched signature size: want error")
+	}
+}
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	ix := NewIndex("round", 4, 32)
+	s := mustSketcher(t, 4, 32)
+	for i := 0; i < 5; i++ {
+		rec := Record{Name: fmt.Sprintf("rec-%d", i), Data: bytes.Repeat([]byte{byte('a' + i)}, 20)}
+		if _, err := ix.Add(s.Sketch(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ix.Len() {
+		t.Fatalf("loaded Len = %d, want %d", got.Len(), ix.Len())
+	}
+	wantMeta, gotMeta := ix.Metadata(), got.Metadata()
+	if gotMeta.Name != wantMeta.Name || gotMeta.K != wantMeta.K ||
+		gotMeta.SignatureSize != wantMeta.SignatureSize ||
+		gotMeta.RecordCount != wantMeta.RecordCount ||
+		!gotMeta.CreatedAt.Equal(wantMeta.CreatedAt) {
+		t.Fatalf("metadata round trip: got %+v, want %+v", gotMeta, wantMeta)
+	}
+	for _, name := range ix.Names() {
+		if !equalSig(got.Get(name).Signature, ix.Get(name).Signature) {
+			t.Fatalf("sketch %q changed across round trip", name)
+		}
+	}
+}
+
+func TestLoadIndexRejectsCorrupt(t *testing.T) {
+	for name, payload := range map[string]string{
+		"not json":       "not json at all",
+		"bad meta":       `{"meta":{"name":"x","k":0,"signature_size":0},"sketches":[]}`,
+		"empty name":     `{"meta":{"name":"x","k":4,"signature_size":2},"sketches":[{"name":"","k":4,"shingles":1,"signature":[1,2]}]}`,
+		"wrong sig size": `{"meta":{"name":"x","k":4,"signature_size":2},"sketches":[{"name":"a","k":4,"shingles":1,"signature":[1]}]}`,
+		"wrong k":        `{"meta":{"name":"x","k":4,"signature_size":2},"sketches":[{"name":"a","k":8,"shingles":1,"signature":[1,2]}]}`,
+		"duplicate name": `{"meta":{"name":"x","k":4,"signature_size":1},"sketches":[{"name":"a","k":4,"shingles":1,"signature":[1]},{"name":"a","k":4,"shingles":1,"signature":[2]}]}`,
+	} {
+		if _, err := LoadIndex(bytes.NewReader([]byte(payload))); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+// TestConcurrentAddAndQuery hammers the index from concurrent writers
+// and readers; it exists to run under -race.
+func TestConcurrentAddAndQuery(t *testing.T) {
+	ix := NewIndex("conc", 4, 32)
+	s := mustSketcher(t, 4, 32)
+	q := s.Sketch(Record{Name: "query", Data: []byte("the query payload used by all readers")})
+
+	const writers, readers, perWriter = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := Record{
+					Name: fmt.Sprintf("w%d-rec%d", w, i),
+					Data: []byte(fmt.Sprintf("record payload %d from writer %d with extra text", i, w)),
+				}
+				if _, err := ix.Add(s.Sketch(rec)); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := SearchTopK(ix, q, 3, 0, NewPool(2)); err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				ix.Len()
+				ix.Metadata()
+				ix.Names()
+			}
+		}()
+	}
+	wg.Wait()
+	if ix.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", ix.Len(), writers*perWriter)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import "fmt"
+
+// PairwiseDistances computes all n*(n-1)/2 distinct pairwise
+// comparisons among sketches, fanning out over pool. Results are sorted
+// by descending similarity (ties broken by name) for stable output.
+func PairwiseDistances(sketches []*Sketch, pool *Pool) ([]Result, error) {
+	n := len(sketches)
+	if n < 2 {
+		return nil, nil
+	}
+	for i := 1; i < n; i++ {
+		if err := compatible(sketches[0], sketches[i]); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]Result, n*(n-1)/2)
+	if pool == nil {
+		pool = NewPool(0)
+	}
+	// Workers pull whole rows of the upper triangle; row i owns the
+	// contiguous result range starting at its triangular offset, so no
+	// O(n^2) pair list is materialized. Dynamic row pull via Map's
+	// atomic counter balances the shrinking row lengths.
+	pool.Map(n-1, func(i int) {
+		a := sketches[i]
+		base := i * (2*n - i - 1) / 2
+		for j := i + 1; j < n; j++ {
+			b := sketches[j]
+			sim, _ := Similarity(a, b) // compatibility pre-checked above
+			results[base+j-i-1] = Result{Query: a.Name, Ref: b.Name, Similarity: sim, Distance: 1 - sim}
+		}
+	})
+	sortResults(results)
+	return results, nil
+}
+
+// SearchTopK compares query against every sketch in ix concurrently and
+// returns up to topK results with similarity >= minSim, best first.
+// An index record that is the query itself — same name AND same
+// signature — is skipped so self-hits do not crowd out real neighbors.
+// A same-named record with different content (e.g. the file changed
+// after indexing) is still reported.
+func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
+	if topK <= 0 {
+		return nil, fmt.Errorf("search: topK must be positive, got %d", topK)
+	}
+	meta := ix.Metadata()
+	if query.K != meta.K || len(query.Signature) != meta.SignatureSize {
+		return nil, fmt.Errorf("search: query sketch (k=%d, size=%d) incompatible with index %q (k=%d, size=%d)",
+			query.K, len(query.Signature), meta.Name, meta.K, meta.SignatureSize)
+	}
+	refs := ix.snapshot()
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	if pool == nil {
+		pool = NewPool(0)
+	}
+	results := make([]Result, len(refs))
+	pool.Map(len(refs), func(i int) {
+		ref := refs[i]
+		if ref.Name == query.Name && sameSignature(ref, query) {
+			results[i] = Result{Similarity: -1} // sentinel, filtered below
+			return
+		}
+		sim, _ := Similarity(query, ref) // compatibility pre-checked above
+		results[i] = Result{Query: query.Name, Ref: ref.Name, Similarity: sim, Distance: 1 - sim}
+	})
+	kept := results[:0]
+	for _, r := range results {
+		if r.Similarity >= 0 && r.Similarity >= minSim {
+			kept = append(kept, r)
+		}
+	}
+	sortResults(kept)
+	if len(kept) > topK {
+		kept = kept[:topK]
+	}
+	return kept, nil
+}
+
+func sameSignature(a, b *Sketch) bool {
+	if len(a.Signature) != len(b.Signature) {
+		return false
+	}
+	for i := range a.Signature {
+		if a.Signature[i] != b.Signature[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// buildTestIndex returns an index of n records where record i shares a
+// progressively smaller prefix with the query payload, so similarity to
+// the query strictly decreases with i.
+func buildTestIndex(t *testing.T, n int) (*Index, *Sketch) {
+	t.Helper()
+	s := mustSketcher(t, 4, 128)
+	base := []byte("abcdefghijklmnopqrstuvwxyz0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+	ix := NewIndex("test", 4, 128)
+	for i := 0; i < n; i++ {
+		// Replace a growing suffix with record-specific filler.
+		data := append([]byte{}, base...)
+		cut := len(base) - (i+1)*len(base)/(n+1)
+		for j := cut; j < len(data); j++ {
+			data[j] = byte('!' + (i+j)%90)
+		}
+		if _, err := ix.Add(s.Sketch(Record{Name: fmt.Sprintf("rec-%02d", i), Data: data})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, s.Sketch(Record{Name: "query", Data: base})
+}
+
+func TestSearchTopKOrderingAndBounds(t *testing.T) {
+	ix, q := buildTestIndex(t, 10)
+	results, err := SearchTopK(ix, q, 3, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Similarity > results[i-1].Similarity {
+			t.Fatalf("results out of order: %v", results)
+		}
+	}
+	if results[0].Ref != "rec-00" {
+		t.Fatalf("best match = %q, want rec-00", results[0].Ref)
+	}
+	// topK larger than the index returns everything.
+	all, err := SearchTopK(ix, q, 100, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Fatalf("got %d results, want 10", len(all))
+	}
+	// minSim filters.
+	strict, err := SearchTopK(ix, q, 100, all[0].Similarity, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) < 1 || strict[len(strict)-1].Similarity < all[0].Similarity {
+		t.Fatalf("minSim filter failed: %v", strict)
+	}
+	if len(strict) == len(all) {
+		t.Fatal("minSim filter removed nothing")
+	}
+}
+
+func TestSearchTopKSkipsSelf(t *testing.T) {
+	s := mustSketcher(t, 4, 64)
+	ix := NewIndex("self", 4, 64)
+	data := []byte("identical payload for self and other records here")
+	for _, name := range []string{"self", "other"} {
+		if _, err := ix.Add(s.Sketch(Record{Name: name, Data: data})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := SearchTopK(ix, s.Sketch(Record{Name: "self", Data: data}), 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Ref != "other" {
+		t.Fatalf("results = %v, want single hit on \"other\"", results)
+	}
+	// A same-named record whose content differs from the query (e.g. the
+	// file changed after indexing) is NOT a self-hit and must be reported.
+	changed := s.Sketch(Record{Name: "self", Data: []byte("edited payload that no longer matches the indexed one")})
+	results, err = SearchTopK(ix, changed, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %v, want both records reported for changed same-named query", results)
+	}
+}
+
+func TestSearchTopKValidation(t *testing.T) {
+	ix, q := buildTestIndex(t, 3)
+	if _, err := SearchTopK(ix, q, 0, 0, nil); err == nil {
+		t.Fatal("topK=0: want error")
+	}
+	bad := mustSketcher(t, 9, 128).Sketch(Record{Name: "bad", Data: []byte("some query data")})
+	if _, err := SearchTopK(ix, bad, 3, 0, nil); err == nil {
+		t.Fatal("incompatible query: want error")
+	}
+}
+
+func TestPairwiseDistances(t *testing.T) {
+	s := mustSketcher(t, 4, 128)
+	var sketches []*Sketch
+	for i := 0; i < 5; i++ {
+		data := []byte(fmt.Sprintf("shared prefix payload %c%c%c unique tail %d%d%d", 'a'+i, 'b'+i, 'c'+i, i, i*7, i*13))
+		sketches = append(sketches, s.Sketch(Record{Name: fmt.Sprintf("s%d", i), Data: data}))
+	}
+	results, err := PairwiseDistances(sketches, NewPool(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * 4 / 2; len(results) != want {
+		t.Fatalf("got %d pairs, want %d", len(results), want)
+	}
+	seen := map[string]bool{}
+	for i, r := range results {
+		if r.Query == r.Ref {
+			t.Fatalf("self pair in results: %v", r)
+		}
+		key := r.Query + "|" + r.Ref
+		if seen[key] {
+			t.Fatalf("duplicate pair %s", key)
+		}
+		seen[key] = true
+		if i > 0 && r.Similarity > results[i-1].Similarity {
+			t.Fatalf("results out of order at %d: %v", i, results)
+		}
+	}
+	// Fewer than two sketches: no pairs, no error.
+	for _, in := range [][]*Sketch{nil, sketches[:1]} {
+		out, err := PairwiseDistances(in, nil)
+		if err != nil || len(out) != 0 {
+			t.Fatalf("degenerate input: got %v, %v", out, err)
+		}
+	}
+	// Incompatible sketches error out.
+	odd := mustSketcher(t, 9, 128).Sketch(Record{Name: "odd", Data: []byte("whatever data")})
+	if _, err := PairwiseDistances(append(sketches[:2:2], odd), nil); err == nil {
+		t.Fatal("incompatible sketches: want error")
+	}
+}
+
+func TestPoolMap(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		p := NewPool(workers)
+		if workers <= 0 {
+			if p.Workers() != runtime.GOMAXPROCS(0) {
+				t.Fatalf("Workers() = %d, want GOMAXPROCS", p.Workers())
+			}
+		} else if p.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", p.Workers(), workers)
+		}
+		const n = 100
+		hits := make([]int32, n)
+		p.Map(n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d executed %d times", workers, i, h)
+			}
+		}
+		p.Map(0, func(int) { t.Fatal("fn called for n=0") })
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Default sketching parameters. K follows common shingle lengths for
+// text/sequence data; 128 slots gives a Jaccard standard error of
+// about 1/sqrt(128) ~= 0.09.
+const (
+	DefaultK             = 8
+	DefaultSignatureSize = 128
+)
+
+// hashBase is the multiplier for the polynomial rolling hash over
+// shingles (the 64-bit FNV prime).
+const hashBase uint64 = 1099511628211
+
+// Record is one named input to the sketching stage.
+type Record struct {
+	Name string
+	Data []byte
+}
+
+// Sketch is a compact fixed-size minhash signature of one record.
+// Two sketches are comparable only if they share K and signature size.
+type Sketch struct {
+	Name      string   `json:"name"`
+	K         int      `json:"k"`
+	Shingles  int      `json:"shingles"`
+	Signature []uint64 `json:"signature"`
+}
+
+// Sketcher converts records into minhash signatures. It is stateless
+// and safe for concurrent use.
+type Sketcher struct {
+	k       int
+	sigSize int
+}
+
+// NewSketcher returns a sketcher producing sigSize-slot signatures over
+// k-byte shingles.
+func NewSketcher(k, sigSize int) (*Sketcher, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sketcher: k must be positive, got %d", k)
+	}
+	if sigSize <= 0 {
+		return nil, fmt.Errorf("sketcher: signature size must be positive, got %d", sigSize)
+	}
+	return &Sketcher{k: k, sigSize: sigSize}, nil
+}
+
+// K returns the shingle length.
+func (s *Sketcher) K() int { return s.k }
+
+// SignatureSize returns the number of minhash slots.
+func (s *Sketcher) SignatureSize() int { return s.sigSize }
+
+// Sketch computes the minhash signature of rec. Records shorter than K
+// produce zero shingles and an empty (all-max) signature; such sketches
+// compare as dissimilar to everything, including each other.
+func (s *Sketcher) Sketch(rec Record) *Sketch {
+	sig := make([]uint64, s.sigSize)
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	shingles := 0
+	eachShingleHash(rec.Data, s.k, func(h uint64) {
+		shingles++
+		// Kirsch-Mitzenmacher double hashing: slot i sees h1 + i*h2,
+		// standing in for sigSize independent permutations.
+		h1 := mix64(h)
+		h2 := mix64(h^0x9e3779b97f4a7c15) | 1
+		v := h1
+		for i := range sig {
+			if v < sig[i] {
+				sig[i] = v
+			}
+			v += h2
+		}
+	})
+	return &Sketch{Name: rec.Name, K: s.k, Shingles: shingles, Signature: sig}
+}
+
+// eachShingleHash calls fn with a 64-bit hash of every k-byte window of
+// data, using an O(n) polynomial rolling hash.
+func eachShingleHash(data []byte, k int, fn func(uint64)) {
+	if k <= 0 || len(data) < k {
+		return
+	}
+	// pow = hashBase^(k-1), the weight of the outgoing byte.
+	var pow uint64 = 1
+	for i := 0; i < k-1; i++ {
+		pow *= hashBase
+	}
+	var h uint64
+	for i := 0; i < k; i++ {
+		h = h*hashBase + uint64(data[i]) + 1
+	}
+	fn(h)
+	for i := k; i < len(data); i++ {
+		h = (h-(uint64(data[i-k])+1)*pow)*hashBase + uint64(data[i]) + 1
+		fn(h)
+	}
+}
+
+// mix64 is the SplitMix64 finalizer; it whitens the weakly-mixed
+// rolling hash before minhash slot derivation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the Go microbenchmarks and emit results as JSON, so
+# BENCH_*.json files form a trajectory across PRs.
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+#   output.json  defaults to BENCH_<utc timestamp>.json
+#   benchtime    passed to -benchtime (default 1x for a fast smoke run)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date -u +%Y%m%dT%H%M%SZ).json}"
+benchtime="${2:-1x}"
+
+raw="$(go test -run '^$' -bench=. -benchmem -benchtime="$benchtime" ./...)"
+
+awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = ""; bytes_op = ""; allocs = ""; mb_s = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes_op = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "MB/s")      mb_s = $i
+    }
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
+    if (ns != "")       line = line sprintf(", \"ns_per_op\": %s", ns)
+    if (mb_s != "")     line = line sprintf(", \"mb_per_s\": %s", mb_s)
+    if (bytes_op != "") line = line sprintf(", \"bytes_per_op\": %s", bytes_op)
+    if (allocs != "")   line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    results[n++] = line "}"
+}
+END {
+    printf "{\n"
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++)
+        printf "%s%s\n", results[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}' <<<"$raw" >"$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)" >&2
