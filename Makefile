@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench bench-json lint clean
+.PHONY: all build vet test cover bench bench-json bench-compare lint clean
 
 all: build vet test
 
@@ -16,11 +16,21 @@ vet:
 test:
 	$(GO) test -race ./...
 
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70 ? 0 : 1) }' || \
+		{ echo "total coverage $$total% is below the 70% floor"; exit 1; }
+
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x ./...
 
 bench-json:
 	./scripts/bench.sh
+
+bench-compare:
+	./scripts/bench.sh compare BENCH_baseline.json
 
 lint:
 	@if command -v golangci-lint >/dev/null 2>&1; then \
@@ -32,4 +42,5 @@ lint:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_*.json BENCH_*.json
+	rm -f bench_*.json cover.out
+	find . -maxdepth 1 -name 'BENCH_*.json' ! -name 'BENCH_baseline.json' -delete

@@ -93,10 +93,37 @@ func sketchFlags(fs *flag.FlagSet) (k, size, threads *int) {
 	return
 }
 
+// lshFlags adds the LSH banding / sharding flags shared by sketch and
+// search. Zero values mean "use the defaults" (sketch) or "keep the
+// index's stored parameters" (search).
+func lshFlags(fs *flag.FlagSet) (bands, rows, shards *int) {
+	bands = fs.Int("bands", 0, "LSH bands per signature (0 = default; bands*rows must equal -size)")
+	rows = fs.Int("rows", 0, "LSH rows per band (0 = default)")
+	shards = fs.Int("shards", 0, "index lock-stripe shards (0 = default)")
+	return
+}
+
+// resolveLSH turns the flag values into concrete parameters for a new
+// index with signature size sigSize.
+func resolveLSH(bands, rows, shards, sigSize int) (core.LSHParams, int, error) {
+	lsh := core.DefaultLSHParams(sigSize)
+	if bands != 0 || rows != 0 {
+		var err error
+		if lsh, err = core.NewLSHParams(bands, rows, sigSize); err != nil {
+			return core.LSHParams{}, 0, err
+		}
+	}
+	if shards <= 0 {
+		shards = core.DefaultShards
+	}
+	return lsh, shards, nil
+}
+
 func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sketch", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	k, size, threads := sketchFlags(fs)
+	bands, rows, shards := lshFlags(fs)
 	out := fs.String("o", "index.json", "output index path (loaded first if it exists)")
 	name := fs.String("name", "default", "index name (new indexes only)")
 	if err := parseFlags(fs, argv); err != nil {
@@ -106,7 +133,7 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("sketch: no input files")
 	}
 
-	ix, err := loadOrCreateIndex(*out, *name, *k, *size)
+	ix, err := loadOrCreateIndex(*out, *name, *k, *size, *bands, *rows, *shards)
 	if err != nil {
 		return err
 	}
@@ -116,6 +143,11 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 	if (flagSet["k"] && meta.K != *k) || (flagSet["size"] && meta.SignatureSize != *size) {
 		fmt.Fprintf(stderr, "engine: sketch: existing index %q uses k=%d size=%d; ignoring -k/-size flags\n",
 			meta.Name, meta.K, meta.SignatureSize)
+	}
+	if (flagSet["bands"] && meta.Bands != *bands) || (flagSet["rows"] && meta.RowsPerBand != *rows) ||
+		(flagSet["shards"] && meta.Shards != *shards) {
+		fmt.Fprintf(stderr, "engine: sketch: existing index %q uses bands=%d rows=%d shards=%d; ignoring -bands/-rows/-shards flags\n",
+			meta.Name, meta.Bands, meta.RowsPerBand, meta.Shards)
 	}
 	if flagSet["name"] && meta.Name != *name {
 		fmt.Fprintf(stderr, "engine: sketch: existing index is named %q; ignoring -name %q\n",
@@ -132,7 +164,7 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 	}
 	// Skip already-indexed names before sketching so incremental runs
 	// don't pay the minhash cost for records that will be discarded.
-	added, skipped := 0, 0
+	skipped := 0
 	fresh := recs[:0]
 	for _, rec := range recs {
 		if ix.Get(rec.Name) != nil {
@@ -142,23 +174,14 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 		}
 		fresh = append(fresh, rec)
 	}
-	sketches := make([]*core.Sketch, len(fresh))
-	eng.Pool().Map(len(fresh), func(i int) {
-		sketches[i] = eng.Sketcher().Sketch(fresh[i])
-	})
-	for _, s := range sketches {
-		ok, err := ix.Add(s)
-		if err != nil {
-			return err
-		}
-		if ok {
-			added++
-		} else {
-			skipped++
-			fmt.Fprintf(stdout, "skip\t%s\t(already indexed)\n", s.Name)
-		}
+	// Batched streaming ingest: sketching and shard inserts both fan
+	// out over the worker pool.
+	added, err := eng.AddBatch(fresh)
+	if err != nil {
+		return err
 	}
-	if err := saveIndex(ix, *out); err != nil {
+	skipped += len(fresh) - added
+	if err := ix.SaveFile(*out); err != nil {
 		return err
 	}
 	meta = ix.Metadata()
@@ -207,9 +230,11 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	// No -k/-size here: queries are always sketched with the index's own
 	// parameters (see below).
 	threads := fs.Int("threads", 0, "worker pool size (0 = GOMAXPROCS)")
+	bands, rows, shards := lshFlags(fs)
 	db := fs.String("d", "", "index file to search (required)")
 	topK := fs.Int("top", 5, "maximum results per query")
 	minSim := fs.Float64("min", 0, "minimum similarity to report")
+	modeFlag := fs.String("mode", "lsh", "search mode: lsh (banded candidate filter) or exact (full scan)")
 	if err := parseFlags(fs, argv); err != nil {
 		return err
 	}
@@ -219,14 +244,32 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("search: no query files")
 	}
-	f, err := os.Open(*db)
-	if err != nil {
-		return fmt.Errorf("search: %w", err)
-	}
-	ix, err := core.LoadIndex(f)
-	f.Close()
+	mode, err := core.ParseSearchMode(*modeFlag)
 	if err != nil {
 		return err
+	}
+	ix, err := core.LoadIndexFile(*db)
+	if err != nil {
+		return err
+	}
+	// Band postings are rebuilt from signatures at load time, so the
+	// banding scheme and shard count can be retuned per search run
+	// without re-sketching.
+	if *bands != 0 || *rows != 0 || *shards != 0 {
+		meta := ix.Metadata()
+		lsh := ix.LSHParams()
+		if *bands != 0 || *rows != 0 {
+			if lsh, err = core.NewLSHParams(*bands, *rows, meta.SignatureSize); err != nil {
+				return fmt.Errorf("search: %w", err)
+			}
+		}
+		n := meta.Shards
+		if *shards != 0 {
+			n = *shards
+		}
+		if err := ix.Rebucket(lsh, n); err != nil {
+			return fmt.Errorf("search: %w", err)
+		}
 	}
 	// The engine derives sketch parameters from the index metadata, so
 	// queries are always sketched compatibly.
@@ -234,6 +277,7 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	eng.SetMode(mode)
 	recs, err := readRecords(fs.Args())
 	if err != nil {
 		return err
@@ -252,34 +296,20 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func loadOrCreateIndex(path, name string, k, size int) (*core.Index, error) {
+func loadOrCreateIndex(path, name string, k, size, bands, rows, shards int) (*core.Index, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return core.NewIndex(name, k, size), nil
+		lsh, n, err := resolveLSH(bands, rows, shards, size)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewIndexWith(name, k, size, lsh, n)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
 	defer f.Close()
 	return core.LoadIndex(f)
-}
-
-func saveIndex(ix *core.Index, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("index: %w", err)
-	}
-	if err := ix.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("index: save: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("index: %w", err)
-	}
-	return os.Rename(tmp, path)
 }
 
 // readRecords loads each path as one record named by its base name.

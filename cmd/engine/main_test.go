@@ -88,6 +88,65 @@ func TestCLIThreadsFlag(t *testing.T) {
 	}
 }
 
+// TestCLISearchModesAgree: on the golden corpus, LSH mode must return
+// the same top-K output as exact mode, byte for byte.
+func TestCLISearchModesAgree(t *testing.T) {
+	dir := t.TempDir()
+	index := filepath.Join(dir, "index.json")
+	if _, stderr, code := runCLI(t, "sketch", "-o", index,
+		testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt")); code != 0 {
+		t.Fatalf("sketch failed (%d): %s", code, stderr)
+	}
+	var outputs []string
+	for _, mode := range []string{"lsh", "exact"} {
+		stdout, stderr, code := runCLI(t, "search", "-d", index, "-top", "2", "-mode", mode,
+			testdata("beta.txt"), testdata("alpha.txt"))
+		if code != 0 {
+			t.Fatalf("search -mode %s failed (%d): %s", mode, code, stderr)
+		}
+		outputs = append(outputs, stdout)
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("lsh and exact modes disagree:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestCLILSHFlags drives -bands/-rows/-shards through sketch and
+// search: a retuned index must keep returning identical results, and
+// conflicting flags on an existing index are warned about and ignored.
+func TestCLILSHFlags(t *testing.T) {
+	dir := t.TempDir()
+	index := filepath.Join(dir, "index.json")
+	if _, stderr, code := runCLI(t, "sketch", "-o", index, "-bands", "16", "-rows", "8", "-shards", "4",
+		testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt")); code != 0 {
+		t.Fatalf("sketch failed (%d): %s", code, stderr)
+	}
+	base, stderr, code := runCLI(t, "search", "-d", index, "-top", "2", testdata("beta.txt"))
+	if code != 0 {
+		t.Fatalf("search failed (%d): %s", code, stderr)
+	}
+	// Retune the banding and sharding at search time; results must not
+	// change (the fallback guarantees completeness on a 3-record corpus).
+	retuned, stderr, code := runCLI(t, "search", "-d", index, "-top", "2",
+		"-bands", "64", "-rows", "2", "-shards", "2", testdata("beta.txt"))
+	if code != 0 {
+		t.Fatalf("retuned search failed (%d): %s", code, stderr)
+	}
+	if base != retuned {
+		t.Fatalf("retuned search differs:\n%s\nvs\n%s", base, retuned)
+	}
+	// Re-sketching with conflicting LSH flags warns and keeps the
+	// index's stored parameters.
+	_, stderr, code = runCLI(t, "sketch", "-o", index, "-bands", "32", "-rows", "4",
+		testdata("alpha.txt"))
+	if code != 0 {
+		t.Fatalf("re-sketch failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "ignoring -bands/-rows/-shards") {
+		t.Fatalf("want conflicting-flags warning, got: %q", stderr)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -101,6 +160,8 @@ func TestCLIErrors(t *testing.T) {
 		{"search no queries", []string{"search", "-d", testdata("alpha.txt")}},
 		{"search bad index", []string{"search", "-d", testdata("alpha.txt"), testdata("beta.txt")}},
 		{"missing input", []string{"dist", "testdata/does-not-exist.txt", testdata("alpha.txt")}},
+		{"search bad mode", []string{"search", "-d", testdata("alpha.txt"), "-mode", "fuzzy", testdata("beta.txt")}},
+		{"sketch bad banding", []string{"sketch", "-o", "/tmp/nope-lsh.json", "-bands", "3", "-rows", "3", testdata("alpha.txt")}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -81,6 +82,51 @@ func BenchmarkSearchTopK(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// lshBench caches the 10k-record corpus shared by BenchmarkSearchExact
+// and BenchmarkSearchLSH; building it sketches 10k records, so it is
+// done once per test binary.
+var lshBench struct {
+	once sync.Once
+	ix   *Index
+	q    *Sketch
+}
+
+func lshBenchCorpus(b *testing.B) (*Index, *Sketch) {
+	b.Helper()
+	lshBench.once.Do(func() {
+		// 10k records, 50 of them near-duplicates of the query: enough
+		// true neighbors to fill topK=10 from candidates alone.
+		lshBench.ix, lshBench.q = plantedCorpus(b, 10000, 50, 7)
+	})
+	return lshBench.ix, lshBench.q
+}
+
+// BenchmarkSearchExact is the brute-force baseline on the 10k corpus:
+// cost scales with corpus size.
+func BenchmarkSearchExact(b *testing.B) {
+	ix, q := lshBenchCorpus(b)
+	pool := NewPool(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchTopK(ix, q, 10, 0, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchLSH probes band buckets and exact-scores only the
+// candidates; cost scales with the number of plausible matches.
+func BenchmarkSearchLSH(b *testing.B) {
+	ix, q := lshBenchCorpus(b)
+	pool := NewPool(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchTopKLSH(ix, q, 10, 0, pool); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -5,21 +5,25 @@
 //
 //  1. Sketching: input records are shingled with a rolling hash and
 //     compressed into compact fixed-size minhash signatures (see Sketcher).
-//  2. Indexing: signatures live in an in-memory Index alongside JSON
-//     metadata (name, created/updated timestamps, record count) with
+//  2. Indexing: signatures live in a sharded in-memory Index — N
+//     lock-striped shards keyed by record-name hash, each owning its
+//     sketches and LSH band postings — alongside JSON metadata with
 //     incremental add / skip-existing semantics.
 //  3. Querying: pairwise-distance and top-K similarity queries fan out
-//     over a bounded worker pool sized to GOMAXPROCS (see Pool).
+//     over a bounded worker pool sized to GOMAXPROCS (see Pool). Top-K
+//     search runs in LSH mode by default, probing band buckets for
+//     candidates instead of scanning the whole corpus (see SearchTopKLSH).
 package core
 
 import "fmt"
 
 // Version identifies the engine build. It is reported by the CLI and
 // stamped into saved index metadata.
-const Version = "0.1.0"
+const Version = "0.2.0"
 
 // Options configures an Engine. Zero values fall back to the package
-// defaults (DefaultK, DefaultSignatureSize, GOMAXPROCS workers).
+// defaults (DefaultK, DefaultSignatureSize, GOMAXPROCS workers,
+// DefaultLSHParams banding, DefaultShards stripes, LSH search mode).
 type Options struct {
 	// K is the shingle (k-mer) length used when sketching records.
 	K int
@@ -29,6 +33,16 @@ type Options struct {
 	Threads int
 	// IndexName names the index created by the engine.
 	IndexName string
+	// Bands and RowsPerBand set the LSH banding scheme; both zero means
+	// DefaultLSHParams(SignatureSize). When set, Bands*RowsPerBand must
+	// equal SignatureSize.
+	Bands       int
+	RowsPerBand int
+	// Shards is the number of lock stripes in the index; <= 0 means
+	// DefaultShards.
+	Shards int
+	// Mode selects how Search scans the index; empty means ModeLSH.
+	Mode SearchMode
 }
 
 // Engine ties the three pipeline stages together behind one entry point.
@@ -38,6 +52,7 @@ type Engine struct {
 	sketcher *Sketcher
 	index    *Index
 	pool     *Pool
+	mode     SearchMode
 }
 
 // NewEngine builds an Engine from opts, applying defaults for zero fields.
@@ -51,27 +66,47 @@ func NewEngine(opts Options) (*Engine, error) {
 	if opts.IndexName == "" {
 		opts.IndexName = "default"
 	}
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	lsh := DefaultLSHParams(opts.SignatureSize)
+	if opts.Bands != 0 || opts.RowsPerBand != 0 {
+		var err error
+		if lsh, err = NewLSHParams(opts.Bands, opts.RowsPerBand, opts.SignatureSize); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	mode, err := ParseSearchMode(string(opts.Mode))
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	sk, err := NewSketcher(opts.K, opts.SignatureSize)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	ix, err := NewIndexWith(opts.IndexName, opts.K, opts.SignatureSize, lsh, opts.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	return &Engine{
 		sketcher: sk,
-		index:    NewIndex(opts.IndexName, opts.K, opts.SignatureSize),
+		index:    ix,
 		pool:     NewPool(opts.Threads),
+		mode:     mode,
 	}, nil
 }
 
 // NewEngineWithIndex wraps an existing index (e.g. one returned by
 // LoadIndex), deriving the sketcher parameters from the index metadata
-// so queries are always sketched compatibly.
+// so queries are always sketched compatibly. The engine starts in LSH
+// search mode; use SetMode to change it.
 func NewEngineWithIndex(ix *Index, threads int) (*Engine, error) {
 	meta := ix.Metadata()
 	sk, err := NewSketcher(meta.K, meta.SignatureSize)
 	if err != nil {
 		return nil, fmt.Errorf("engine: index %q: %w", meta.Name, err)
 	}
-	return &Engine{sketcher: sk, index: ix, pool: NewPool(threads)}, nil
+	return &Engine{sketcher: sk, index: ix, pool: NewPool(threads), mode: ModeLSH}, nil
 }
 
 // Sketcher returns the engine's sketcher.
@@ -83,6 +118,13 @@ func (e *Engine) Index() *Index { return e.index }
 // Pool returns the engine's worker pool.
 func (e *Engine) Pool() *Pool { return e.pool }
 
+// Mode returns the engine's search mode.
+func (e *Engine) Mode() SearchMode { return e.mode }
+
+// SetMode switches the search mode. It is not synchronized with
+// in-flight Search calls; set the mode before serving queries.
+func (e *Engine) SetMode(m SearchMode) { e.mode = m }
+
 // Add sketches rec and adds it to the index. It reports whether the
 // record was added (false means a record with the same name already
 // existed and was skipped).
@@ -90,7 +132,55 @@ func (e *Engine) Add(rec Record) (bool, error) {
 	return e.index.Add(e.sketcher.Sketch(rec))
 }
 
-// Search sketches rec and returns its top-K nearest index entries.
+// AddBatch sketches and inserts recs through the worker pool: sketching
+// fans out over the pool, and the inserts land on the index's lock
+// stripes concurrently. It returns the number of records actually added
+// (duplicates are skipped, as in Add) and the first error encountered.
+// When the batch itself repeats a name, the first occurrence wins, as
+// it would under sequential Adds.
+func (e *Engine) AddBatch(recs []Record) (int, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	// Drop in-batch repeats before the concurrent inserts so which
+	// record wins never depends on goroutine scheduling.
+	seen := make(map[string]struct{}, len(recs))
+	unique := make([]Record, 0, len(recs))
+	for _, rec := range recs {
+		if _, dup := seen[rec.Name]; dup {
+			continue
+		}
+		seen[rec.Name] = struct{}{}
+		unique = append(unique, rec)
+	}
+	recs = unique
+	sketches := make([]*Sketch, len(recs))
+	e.pool.Map(len(recs), func(i int) {
+		sketches[i] = e.sketcher.Sketch(recs[i])
+	})
+	oks := make([]bool, len(sketches))
+	errs := make([]error, len(sketches))
+	e.pool.Map(len(sketches), func(i int) {
+		oks[i], errs[i] = e.index.Add(sketches[i])
+	})
+	added := 0
+	for i := range sketches {
+		if errs[i] != nil {
+			return added, errs[i]
+		}
+		if oks[i] {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// Search sketches rec and returns its top-K nearest index entries,
+// scanning per the engine's search mode.
 func (e *Engine) Search(rec Record, topK int, minSim float64) ([]Result, error) {
-	return SearchTopK(e.index, e.sketcher.Sketch(rec), topK, minSim, e.pool)
+	q := e.sketcher.Sketch(rec)
+	if e.mode == ModeExact {
+		return SearchTopK(e.index, q, topK, minSim, e.pool)
+	}
+	return SearchTopKLSH(e.index, q, topK, minSim, e.pool)
 }

@@ -4,48 +4,111 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 )
 
+// Index file format versions. V1 files (PR 1) carry no format field and
+// no LSH/shard parameters; they load with defaults applied. Save always
+// writes the current format.
+const (
+	FormatV1      = 1
+	FormatV2      = 2
+	CurrentFormat = FormatV2
+)
+
 // Metadata describes an index; it is embedded in the JSON serialization
-// and kept current as records are added.
+// and kept current as records are added. Format, Bands, RowsPerBand and
+// Shards are new in format v2; they are omitted from (and defaulted
+// when loading) v1 files.
 type Metadata struct {
 	Name          string    `json:"name"`
 	Version       string    `json:"version"`
+	Format        int       `json:"format,omitempty"`
 	CreatedAt     time.Time `json:"created_at"`
 	UpdatedAt     time.Time `json:"updated_at"`
 	RecordCount   int       `json:"record_count"`
 	K             int       `json:"k"`
 	SignatureSize int       `json:"signature_size"`
+	Bands         int       `json:"bands,omitempty"`
+	RowsPerBand   int       `json:"rows_per_band,omitempty"`
+	Shards        int       `json:"shards,omitempty"`
 }
 
-// Index is an in-memory store of sketches keyed by record name. All
-// methods are safe for concurrent use. Adds are incremental: a sketch
-// whose name is already present is skipped, never overwritten.
+// Index is an in-memory store of sketches keyed by record name,
+// striped over N independently-locked shards so concurrent adds and
+// probes on different stripes never contend. Each shard also maintains
+// LSH band postings for sub-linear candidate filtering (see
+// SearchTopKLSH). All methods are safe for concurrent use except
+// Rebucket. Adds are incremental: a sketch whose name is already
+// present is skipped, never overwritten.
 type Index struct {
-	mu       sync.RWMutex
-	meta     Metadata
-	sketches map[string]*Sketch
-	names    []string // insertion order, for deterministic iteration
+	mu     sync.RWMutex // guards meta, order, and the shards slice header
+	meta   Metadata
+	order  []string // insertion order, for deterministic iteration
+	shards []*shard
+	lsh    LSHParams
 }
 
 // NewIndex returns an empty index accepting sketches with the given
-// shingle length and signature size.
+// shingle length and signature size, using the default banding scheme
+// and shard count. Use NewIndexWith to configure those.
 func NewIndex(name string, k, sigSize int) *Index {
+	if ix, err := NewIndexWith(name, k, sigSize, DefaultLSHParams(sigSize), DefaultShards); err == nil {
+		return ix
+	}
+	// Non-positive sigSize: keep the old never-fail contract with a
+	// placeholder single-band scheme. Such an index rejects every add
+	// through signature-size validation, so the scheme is never probed.
+	now := time.Now().UTC()
+	lsh := LSHParams{Bands: 1, RowsPerBand: 1}
+	return &Index{
+		meta: Metadata{
+			Name:          name,
+			Version:       Version,
+			Format:        CurrentFormat,
+			CreatedAt:     now,
+			UpdatedAt:     now,
+			K:             k,
+			SignatureSize: sigSize,
+			Bands:         lsh.Bands,
+			RowsPerBand:   lsh.RowsPerBand,
+			Shards:        DefaultShards,
+		},
+		shards: newShards(DefaultShards, lsh),
+		lsh:    lsh,
+	}
+}
+
+// NewIndexWith returns an empty index with an explicit LSH banding
+// scheme and shard count.
+func NewIndexWith(name string, k, sigSize int, lsh LSHParams, shards int) (*Index, error) {
+	if _, err := NewLSHParams(lsh.Bands, lsh.RowsPerBand, sigSize); err != nil {
+		return nil, fmt.Errorf("index %q: %w", name, err)
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("index %q: shard count must be positive, got %d", name, shards)
+	}
 	now := time.Now().UTC()
 	return &Index{
 		meta: Metadata{
 			Name:          name,
 			Version:       Version,
+			Format:        CurrentFormat,
 			CreatedAt:     now,
 			UpdatedAt:     now,
 			K:             k,
 			SignatureSize: sigSize,
+			Bands:         lsh.Bands,
+			RowsPerBand:   lsh.RowsPerBand,
+			Shards:        shards,
 		},
-		sketches: make(map[string]*Sketch),
-	}
+		shards: newShards(shards, lsh),
+		lsh:    lsh,
+	}, nil
 }
 
 // Add inserts s if no record with the same name exists. It reports
@@ -63,38 +126,43 @@ func (ix *Index) Add(s *Sketch) (bool, error) {
 		return false, fmt.Errorf("index %q: signature size %d does not match index size %d",
 			ix.meta.Name, len(s.Signature), ix.meta.SignatureSize)
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, exists := ix.sketches[s.Name]; exists {
+	ix.mu.RLock()
+	shards := ix.shards
+	ix.mu.RUnlock()
+	// Same-named adds always land on the same shard, whose lock
+	// serializes the existence check against the insert.
+	if !shards[shardFor(s.Name, len(shards))].add(s) {
 		return false, nil
 	}
-	ix.sketches[s.Name] = s
-	ix.names = append(ix.names, s.Name)
-	ix.meta.RecordCount = len(ix.sketches)
+	ix.mu.Lock()
+	ix.order = append(ix.order, s.Name)
+	ix.meta.RecordCount = len(ix.order)
 	ix.meta.UpdatedAt = time.Now().UTC()
+	ix.mu.Unlock()
 	return true, nil
 }
 
 // Get returns the sketch named name, or nil if absent.
 func (ix *Index) Get(name string) *Sketch {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.sketches[name]
+	shards := ix.shards
+	ix.mu.RUnlock()
+	return shards[shardFor(name, len(shards))].get(name)
 }
 
 // Len returns the number of indexed records.
 func (ix *Index) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.sketches)
+	return len(ix.order)
 }
 
 // Names returns record names in insertion order.
 func (ix *Index) Names() []string {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	out := make([]string, len(ix.names))
-	copy(out, ix.names)
+	out := make([]string, len(ix.order))
+	copy(out, ix.order)
 	return out
 }
 
@@ -105,37 +173,141 @@ func (ix *Index) Metadata() Metadata {
 	return ix.meta
 }
 
+// LSHParams returns the index's banding scheme.
+func (ix *Index) LSHParams() LSHParams {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.lsh
+}
+
+// ShardCount returns the number of lock stripes.
+func (ix *Index) ShardCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.shards)
+}
+
 // snapshot returns the sketches in insertion order without copying the
 // sketches themselves (they are immutable once added).
 func (ix *Index) snapshot() []*Sketch {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := make([]*Sketch, 0, len(ix.names))
-	for _, n := range ix.names {
-		out = append(out, ix.sketches[n])
+	names := make([]string, len(ix.order))
+	copy(names, ix.order)
+	shards := ix.shards
+	ix.mu.RUnlock()
+	out := make([]*Sketch, 0, len(names))
+	for _, n := range names {
+		if s := shards[shardFor(n, len(shards))].get(n); s != nil {
+			out = append(out, s)
+		}
 	}
 	return out
 }
 
-// indexFile is the JSON serialization of an Index.
+// lshCandidates returns the sketches sharing at least one LSH band
+// bucket with sig, gathered across all shards. Order is unspecified;
+// callers sort scored results.
+func (ix *Index) lshCandidates(sig []uint64) []*Sketch {
+	ix.mu.RLock()
+	shards := ix.shards
+	ix.mu.RUnlock()
+	var out []*Sketch
+	for _, sh := range shards {
+		out = append(out, sh.candidates(sig)...)
+	}
+	return out
+}
+
+// Rebucket rebuilds the shard stripes and LSH band postings in place
+// with a new banding scheme and shard count, without re-sketching. It
+// must not run concurrently with Add; it exists so a loaded index can
+// be retuned (e.g. `search -bands ... -shards ...`) before serving.
+func (ix *Index) Rebucket(lsh LSHParams, shards int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, err := NewLSHParams(lsh.Bands, lsh.RowsPerBand, ix.meta.SignatureSize); err != nil {
+		return fmt.Errorf("index %q: rebucket: %w", ix.meta.Name, err)
+	}
+	if shards <= 0 {
+		return fmt.Errorf("index %q: rebucket: shard count must be positive, got %d", ix.meta.Name, shards)
+	}
+	fresh := newShards(shards, lsh)
+	for _, old := range ix.shards {
+		for _, s := range old.sketches {
+			fresh[shardFor(s.Name, shards)].add(s)
+		}
+	}
+	ix.shards = fresh
+	ix.lsh = lsh
+	ix.meta.Bands = lsh.Bands
+	ix.meta.RowsPerBand = lsh.RowsPerBand
+	ix.meta.Shards = shards
+	return nil
+}
+
+// indexFile is the JSON serialization of an Index. Band postings are
+// not serialized; they are derived from the signatures and rebuilt on
+// load.
 type indexFile struct {
 	Meta     Metadata  `json:"meta"`
 	Sketches []*Sketch `json:"sketches"`
 }
 
-// Save writes the index as JSON.
+// Save writes the index as JSON in the current format.
 func (ix *Index) Save(w io.Writer) error {
 	ix.mu.RLock()
-	f := indexFile{Meta: ix.meta, Sketches: make([]*Sketch, 0, len(ix.names))}
-	for _, n := range ix.names {
-		f.Sketches = append(f.Sketches, ix.sketches[n])
+	meta := ix.meta
+	meta.Format = CurrentFormat
+	f := indexFile{Meta: meta, Sketches: make([]*Sketch, 0, len(ix.order))}
+	shards := ix.shards
+	for _, n := range ix.order {
+		f.Sketches = append(f.Sketches, shards[shardFor(n, len(shards))].get(n))
 	}
 	ix.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	return enc.Encode(f)
 }
 
-// LoadIndex reads an index previously written by Save.
+// SaveFile atomically writes the index to path: the JSON is written to
+// a temporary file in the same directory, synced, and renamed over the
+// destination, so a crash mid-save can never corrupt an existing index
+// file.
+func (ix *Index) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".index-*.tmp")
+	if err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = ix.Save(f); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	// CreateTemp makes mode-0600 files; restore the 0644 a plain
+	// os.Create would have produced so other readers keep access.
+	if err = f.Chmod(0o644); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex reads an index previously written by Save. Format v1 files
+// (no format field) load with the default banding scheme and shard
+// count; files written by a newer engine are rejected.
 func LoadIndex(r io.Reader) (*Index, error) {
 	var f indexFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
@@ -145,8 +317,36 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("index: invalid metadata: k=%d signature_size=%d",
 			f.Meta.K, f.Meta.SignatureSize)
 	}
-	ix := &Index{meta: f.Meta, sketches: make(map[string]*Sketch, len(f.Sketches))}
+	var (
+		lsh    LSHParams
+		shards int
+		err    error
+	)
+	switch f.Meta.Format {
+	case 0, FormatV1: // v1 files predate the format field
+		lsh = DefaultLSHParams(f.Meta.SignatureSize)
+		shards = DefaultShards
+	case FormatV2:
+		if lsh, err = NewLSHParams(f.Meta.Bands, f.Meta.RowsPerBand, f.Meta.SignatureSize); err != nil {
+			return nil, fmt.Errorf("index: invalid metadata: %w", err)
+		}
+		if shards = f.Meta.Shards; shards <= 0 {
+			return nil, fmt.Errorf("index: invalid metadata: shards=%d", shards)
+		}
+	default:
+		return nil, fmt.Errorf("index: format %d is newer than this engine supports (max %d)",
+			f.Meta.Format, CurrentFormat)
+	}
+	meta := f.Meta
+	meta.Format = CurrentFormat
+	meta.Bands = lsh.Bands
+	meta.RowsPerBand = lsh.RowsPerBand
+	meta.Shards = shards
+	ix := &Index{meta: meta, shards: newShards(shards, lsh), lsh: lsh}
 	for _, s := range f.Sketches {
+		if s == nil {
+			return nil, fmt.Errorf("index: null sketch entry")
+		}
 		if s.Name == "" {
 			return nil, fmt.Errorf("index: sketch with empty name")
 		}
@@ -158,14 +358,23 @@ func LoadIndex(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("index: sketch %q signature size %d does not match metadata %d",
 				s.Name, len(s.Signature), f.Meta.SignatureSize)
 		}
-		if _, dup := ix.sketches[s.Name]; dup {
+		if !ix.shards[shardFor(s.Name, shards)].add(s) {
 			return nil, fmt.Errorf("index: duplicate sketch name %q", s.Name)
 		}
-		ix.sketches[s.Name] = s
-		ix.names = append(ix.names, s.Name)
+		ix.order = append(ix.order, s.Name)
 	}
-	ix.meta.RecordCount = len(ix.sketches)
+	ix.meta.RecordCount = len(ix.order)
 	return ix, nil
+}
+
+// LoadIndexFile opens and loads an index file.
+func LoadIndexFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	return LoadIndex(f)
 }
 
 // sortResults orders by descending similarity, breaking ties by ref

@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -109,6 +111,119 @@ func TestIndexSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadV1IndexRoundTrip loads a format-v1 file (written before the
+// format field, LSH parameters, and sharding existed), checks that
+// defaults are applied, and round-trips it through Save into a v2 file.
+func TestLoadV1IndexRoundTrip(t *testing.T) {
+	const v1 = `{"meta":{"name":"legacy","version":"0.1.0","created_at":"2026-01-02T03:04:05Z","updated_at":"2026-01-02T03:04:05Z","record_count":2,"k":4,"signature_size":8},"sketches":[{"name":"a","k":4,"shingles":3,"signature":[1,2,3,4,5,6,7,8]},{"name":"b","k":4,"shingles":3,"signature":[1,2,3,4,9,9,9,9]}]}`
+	ix, err := LoadIndex(bytes.NewReader([]byte(v1)))
+	if err != nil {
+		t.Fatalf("load v1: %v", err)
+	}
+	meta := ix.Metadata()
+	def := DefaultLSHParams(8)
+	if meta.Format != CurrentFormat {
+		t.Fatalf("Format = %d, want %d", meta.Format, CurrentFormat)
+	}
+	if meta.Bands != def.Bands || meta.RowsPerBand != def.RowsPerBand || meta.Shards != DefaultShards {
+		t.Fatalf("v1 defaults not applied: %+v", meta)
+	}
+	if ix.Len() != 2 || ix.Get("a") == nil || ix.Get("b") == nil {
+		t.Fatalf("v1 records not loaded: len=%d", ix.Len())
+	}
+	// LSH structures must be live after a v1 load: "a" and "b" share
+	// their first band (rows 1,2,3,4), so each is a candidate of the
+	// other's signature.
+	if res, err := SearchTopKLSH(ix, ix.Get("a"), 1, 0, nil); err != nil || len(res) != 1 || res[0].Ref != "b" {
+		t.Fatalf("v1 LSH search = %v, %v; want b", res, err)
+	}
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"format":2`)) {
+		t.Fatalf("re-saved v1 index is not format 2: %s", buf.String())
+	}
+	got, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatalf("reload v2: %v", err)
+	}
+	gotMeta := got.Metadata()
+	if gotMeta.Format != CurrentFormat || gotMeta.Bands != def.Bands ||
+		gotMeta.RowsPerBand != def.RowsPerBand || gotMeta.Shards != DefaultShards {
+		t.Fatalf("v2 round trip metadata = %+v", gotMeta)
+	}
+	if !gotMeta.CreatedAt.Equal(meta.CreatedAt) || got.Len() != 2 {
+		t.Fatalf("v2 round trip lost data: %+v len=%d", gotMeta, got.Len())
+	}
+}
+
+func TestLoadIndexRejectsBadFormats(t *testing.T) {
+	for name, payload := range map[string]string{
+		"future format": `{"meta":{"name":"x","format":99,"k":4,"signature_size":2},"sketches":[]}`,
+		"v2 bad bands":  `{"meta":{"name":"x","format":2,"k":4,"signature_size":2,"bands":3,"rows_per_band":3,"shards":4},"sketches":[]}`,
+		"v2 no shards":  `{"meta":{"name":"x","format":2,"k":4,"signature_size":2,"bands":1,"rows_per_band":2},"sketches":[]}`,
+	} {
+		if _, err := LoadIndex(bytes.NewReader([]byte(payload))); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.json")
+	// Start from a corrupt pre-existing file: SaveFile must replace it
+	// wholesale, never append or partially overwrite.
+	if err := os.WriteFile(path, []byte("garbage that is not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex("atomic", 4, 32)
+	s := mustSketcher(t, 4, 32)
+	if _, err := ix.Add(s.Sketch(Record{Name: "rec", Data: []byte("payload for the atomic save test")})); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadIndexFile(path)
+	if err != nil {
+		t.Fatalf("load after SaveFile: %v", err)
+	}
+	if got.Len() != 1 || got.Get("rec") == nil {
+		t.Fatalf("loaded index: len=%d", got.Len())
+	}
+	// The renamed file must be world-readable, not CreateTemp's 0600.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := fi.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("saved index mode = %o, want 644", perm)
+	}
+	// No temp files may be left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "index.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory contents after SaveFile: %v", names)
+	}
+	// A failed save (unwritable directory) must report an error and
+	// leave the existing file intact.
+	if err := ix.SaveFile(filepath.Join(dir, "missing", "index.json")); err == nil {
+		t.Fatal("SaveFile into missing directory: want error")
+	}
+	if _, err := LoadIndexFile(path); err != nil {
+		t.Fatalf("existing file damaged by failed save: %v", err)
+	}
+}
+
 func TestLoadIndexRejectsCorrupt(t *testing.T) {
 	for name, payload := range map[string]string{
 		"not json":       "not json at all",
@@ -117,6 +232,7 @@ func TestLoadIndexRejectsCorrupt(t *testing.T) {
 		"wrong sig size": `{"meta":{"name":"x","k":4,"signature_size":2},"sketches":[{"name":"a","k":4,"shingles":1,"signature":[1]}]}`,
 		"wrong k":        `{"meta":{"name":"x","k":4,"signature_size":2},"sketches":[{"name":"a","k":8,"shingles":1,"signature":[1,2]}]}`,
 		"duplicate name": `{"meta":{"name":"x","k":4,"signature_size":1},"sketches":[{"name":"a","k":4,"shingles":1,"signature":[1]},{"name":"a","k":4,"shingles":1,"signature":[2]}]}`,
+		"null sketch":    `{"meta":{"name":"x","k":4,"signature_size":1},"sketches":[null]}`,
 	} {
 		if _, err := LoadIndex(bytes.NewReader([]byte(payload))); err == nil {
 			t.Errorf("%s: want error, got nil", name)

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// LSHParams describes how signatures are split for locality-sensitive
+// hashing: Bands bands of RowsPerBand rows each, with Bands*RowsPerBand
+// equal to the signature size. Two records become search candidates of
+// each other when at least one band hashes to the same bucket, which
+// happens with probability 1-(1-s^r)^b for Jaccard similarity s.
+type LSHParams struct {
+	Bands       int `json:"bands"`
+	RowsPerBand int `json:"rows_per_band"`
+}
+
+// NewLSHParams validates a banding scheme against a signature size.
+func NewLSHParams(bands, rows, sigSize int) (LSHParams, error) {
+	if bands <= 0 || rows <= 0 {
+		return LSHParams{}, fmt.Errorf("lsh: bands and rows must be positive, got bands=%d rows=%d", bands, rows)
+	}
+	if bands*rows != sigSize {
+		return LSHParams{}, fmt.Errorf("lsh: bands*rows = %d*%d = %d does not cover signature size %d",
+			bands, rows, bands*rows, sigSize)
+	}
+	return LSHParams{Bands: bands, RowsPerBand: rows}, nil
+}
+
+// DefaultLSHParams picks a banding scheme for sigSize, preferring 4
+// rows per band (detection threshold ~0.42 at 128 slots) and falling
+// back to smaller rows until one divides the signature evenly.
+func DefaultLSHParams(sigSize int) LSHParams {
+	for _, r := range []int{4, 3, 2} {
+		if sigSize >= r && sigSize%r == 0 {
+			return LSHParams{Bands: sigSize / r, RowsPerBand: r}
+		}
+	}
+	return LSHParams{Bands: sigSize, RowsPerBand: 1}
+}
+
+// Threshold returns the similarity (1/b)^(1/r) at which a pair has
+// roughly 1-1/e probability of sharing at least one band bucket; pairs
+// well above it are detected almost surely, pairs well below almost
+// never.
+func (p LSHParams) Threshold() float64 {
+	return math.Pow(1/float64(p.Bands), 1/float64(p.RowsPerBand))
+}
+
+// bandKey hashes band `band` of sig into a bucket key. The band index
+// is folded in so identical row values in different bands do not
+// collide into one bucket.
+func (p LSHParams) bandKey(band int, sig []uint64) uint64 {
+	h := mix64(uint64(band)*0x9e3779b97f4a7c15 + 0x8445d61a4e774912)
+	for _, v := range sig[band*p.RowsPerBand : (band+1)*p.RowsPerBand] {
+		h = mix64(h ^ v)
+	}
+	return h
+}
+
+// bandIndex is the posting structure of one shard: for every band, a
+// map from bucket key to the names of records whose signature hashed
+// there. It is not internally locked; the owning shard serializes
+// access.
+type bandIndex struct {
+	params  LSHParams
+	buckets []map[uint64][]string
+}
+
+func newBandIndex(p LSHParams) *bandIndex {
+	b := &bandIndex{params: p, buckets: make([]map[uint64][]string, p.Bands)}
+	for i := range b.buckets {
+		b.buckets[i] = make(map[uint64][]string)
+	}
+	return b
+}
+
+// add inserts name into the bucket of every band of sig.
+func (bi *bandIndex) add(name string, sig []uint64) {
+	for band := 0; band < bi.params.Bands; band++ {
+		key := bi.params.bandKey(band, sig)
+		bi.buckets[band][key] = append(bi.buckets[band][key], name)
+	}
+}
+
+// collect adds to seen every record name sharing at least one band
+// bucket with sig.
+func (bi *bandIndex) collect(sig []uint64, seen map[string]struct{}) {
+	for band := 0; band < bi.params.Bands; band++ {
+		for _, name := range bi.buckets[band][bi.params.bandKey(band, sig)] {
+			seen[name] = struct{}{}
+		}
+	}
+}

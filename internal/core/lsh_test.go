@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewLSHParams(t *testing.T) {
+	cases := []struct {
+		name        string
+		bands, rows int
+		sigSize     int
+		wantErr     string
+	}{
+		{"default 128", 32, 4, 128, ""},
+		{"coarse 128", 16, 8, 128, ""},
+		{"single band", 1, 128, 128, ""},
+		{"single row", 128, 1, 128, ""},
+		{"tiny sig", 2, 1, 2, ""},
+		{"undercover", 16, 4, 128, "does not cover"},
+		{"overcover", 64, 4, 128, "does not cover"},
+		{"zero bands", 0, 4, 128, "must be positive"},
+		{"zero rows", 32, 0, 128, "must be positive"},
+		{"negative bands", -32, -4, 128, "must be positive"},
+		{"zero sig", 1, 1, 0, "does not cover"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewLSHParams(tc.bands, tc.rows, tc.sigSize)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("NewLSHParams(%d, %d, %d) err = %v, want containing %q",
+						tc.bands, tc.rows, tc.sigSize, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewLSHParams(%d, %d, %d): %v", tc.bands, tc.rows, tc.sigSize, err)
+			}
+			if p.Bands != tc.bands || p.RowsPerBand != tc.rows {
+				t.Fatalf("params = %+v, want bands=%d rows=%d", p, tc.bands, tc.rows)
+			}
+		})
+	}
+}
+
+func TestDefaultLSHParams(t *testing.T) {
+	cases := []struct {
+		sigSize, wantBands, wantRows int
+	}{
+		{128, 32, 4}, // default signature size: 32 bands of 4
+		{64, 16, 4},  // divisible by 4
+		{9, 3, 3},    // falls back to 3 rows
+		{10, 5, 2},   // falls back to 2 rows
+		{7, 7, 1},    // prime: 1 row per band
+		{1, 1, 1},    // degenerate
+	}
+	for _, tc := range cases {
+		p := DefaultLSHParams(tc.sigSize)
+		if p.Bands != tc.wantBands || p.RowsPerBand != tc.wantRows {
+			t.Errorf("DefaultLSHParams(%d) = %+v, want bands=%d rows=%d",
+				tc.sigSize, p, tc.wantBands, tc.wantRows)
+		}
+		if _, err := NewLSHParams(p.Bands, p.RowsPerBand, tc.sigSize); err != nil {
+			t.Errorf("DefaultLSHParams(%d) = %+v does not validate: %v", tc.sigSize, p, err)
+		}
+	}
+}
+
+func TestLSHThreshold(t *testing.T) {
+	// Threshold = (1/b)^(1/r); spot-check the default scheme and the
+	// monotonic effect of banding: more bands (shorter rows) lower the
+	// detection threshold.
+	def := DefaultLSHParams(128)
+	if got, want := def.Threshold(), math.Pow(1.0/32.0, 0.25); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Threshold() = %v, want %v", got, want)
+	}
+	coarse := LSHParams{Bands: 16, RowsPerBand: 8}
+	if def.Threshold() >= coarse.Threshold() {
+		t.Fatalf("32x4 threshold %v should be below 16x8 threshold %v",
+			def.Threshold(), coarse.Threshold())
+	}
+}
+
+func TestBandKeyDependsOnBandAndRows(t *testing.T) {
+	p := LSHParams{Bands: 4, RowsPerBand: 2}
+	sig := []uint64{1, 2, 1, 2, 1, 2, 9, 2}
+	// Bands 0, 1 and 2 hold identical rows; the band index must still
+	// separate their buckets.
+	if p.bandKey(0, sig) != p.bandKey(0, sig) {
+		t.Fatal("bandKey is not deterministic")
+	}
+	if p.bandKey(0, sig) == p.bandKey(1, sig) {
+		t.Fatal("identical rows in different bands must hash to different keys")
+	}
+	// Band 3 differs from band 0 in one row and must (with overwhelming
+	// probability) get a different key.
+	other := []uint64{1, 2, 1, 2, 1, 2, 1, 2}
+	if p.bandKey(3, sig) == p.bandKey(3, other) {
+		t.Fatal("different rows hashed to the same band key")
+	}
+}
+
+func TestBandIndexCollect(t *testing.T) {
+	p := LSHParams{Bands: 2, RowsPerBand: 2}
+	bi := newBandIndex(p)
+	a := []uint64{1, 2, 3, 4}
+	b := []uint64{1, 2, 9, 9} // shares band 0 with a
+	c := []uint64{7, 7, 7, 7} // shares nothing
+	bi.add("a", a)
+	bi.add("b", b)
+	bi.add("c", c)
+
+	seen := make(map[string]struct{})
+	bi.collect(a, seen)
+	if _, ok := seen["a"]; !ok {
+		t.Error("a must be a candidate of its own signature")
+	}
+	if _, ok := seen["b"]; !ok {
+		t.Error("b shares band 0 with a and must be a candidate")
+	}
+	if _, ok := seen["c"]; ok {
+		t.Error("c shares no band with a and must not be a candidate")
+	}
+}
+
+// TestLSHMatchesExactOnSyntheticCorpus plants near-duplicates well
+// above the banding threshold in a sea of random records and checks
+// that LSH mode returns the identical top-K result list as exact mode.
+func TestLSHMatchesExactOnSyntheticCorpus(t *testing.T) {
+	ix, q := plantedCorpus(t, 1000, 30, 7)
+	pool := NewPool(0)
+	exact, err := SearchTopK(ix, q, 10, 0, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsh, err := SearchTopKLSH(ix, q, 10, 0, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != 10 || len(lsh) != 10 {
+		t.Fatalf("result lengths: exact=%d lsh=%d, want 10", len(exact), len(lsh))
+	}
+	for i := range exact {
+		if exact[i] != lsh[i] {
+			t.Fatalf("result %d differs: exact=%+v lsh=%+v", i, exact[i], lsh[i])
+		}
+	}
+	// The planted neighbors sit far above the threshold; the top hit
+	// must be one of them, not a random record.
+	if !strings.HasPrefix(lsh[0].Ref, "near-") {
+		t.Fatalf("top hit %q is not a planted near-duplicate", lsh[0].Ref)
+	}
+}
+
+// TestLSHFallbackOnSparseIndex: when candidates cannot fill topK, LSH
+// mode must fall back to the exact scan and return identical results.
+func TestLSHFallbackOnSparseIndex(t *testing.T) {
+	s := mustSketcher(t, DefaultK, DefaultSignatureSize)
+	ix := NewIndex("sparse", DefaultK, DefaultSignatureSize)
+	for i, text := range []string{
+		"completely unrelated payload number one with its own words",
+		"a second record that shares nothing with the query either!!",
+		"third filler record, also dissimilar to everything nearby..",
+	} {
+		if _, err := ix.Add(s.Sketch(Record{Name: string(rune('a' + i)), Data: []byte(text)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := s.Sketch(Record{Name: "q", Data: []byte("query text matching none of the indexed records at all")})
+	exact, err := SearchTopK(ix, q, 5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsh, err := SearchTopKLSH(ix, q, 5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != len(lsh) {
+		t.Fatalf("fallback mismatch: exact=%d results, lsh=%d", len(exact), len(lsh))
+	}
+	for i := range exact {
+		if exact[i] != lsh[i] {
+			t.Fatalf("result %d differs: exact=%+v lsh=%+v", i, exact[i], lsh[i])
+		}
+	}
+}

@@ -2,6 +2,31 @@ package core
 
 import "fmt"
 
+// SearchMode selects how SearchTopK-style queries scan the index.
+type SearchMode string
+
+const (
+	// ModeExact scores the query against every indexed sketch.
+	ModeExact SearchMode = "exact"
+	// ModeLSH probes LSH band buckets for candidates and exact-scores
+	// only those, falling back to a full scan when the candidate set
+	// cannot fill the requested K.
+	ModeLSH SearchMode = "lsh"
+)
+
+// ParseSearchMode maps a CLI/config string onto a SearchMode. The empty
+// string selects ModeLSH, the default.
+func ParseSearchMode(s string) (SearchMode, error) {
+	switch SearchMode(s) {
+	case "":
+		return ModeLSH, nil
+	case ModeExact, ModeLSH:
+		return SearchMode(s), nil
+	default:
+		return "", fmt.Errorf("search: unknown mode %q (want %q or %q)", s, ModeLSH, ModeExact)
+	}
+}
+
 // PairwiseDistances computes all n*(n-1)/2 distinct pairwise
 // comparisons among sketches, fanning out over pool. Results are sorted
 // by descending similarity (ties broken by name) for stable output.
@@ -43,17 +68,72 @@ func PairwiseDistances(sketches []*Sketch, pool *Pool) ([]Result, error) {
 // A same-named record with different content (e.g. the file changed
 // after indexing) is still reported.
 func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
+	if err := checkSearchArgs(ix, query, topK); err != nil {
+		return nil, err
+	}
+	return scoreRefs(ix.snapshot(), query, topK, minSim, pool), nil
+}
+
+// SearchTopKLSH is the sub-linear counterpart of SearchTopK: it probes
+// the index's LSH band buckets for candidates and exact-scores only
+// those, so cost scales with the number of plausible matches rather
+// than the corpus size. When the scored candidates cannot fill the
+// requested K — too few candidates, a filtered self-hit, or a minSim
+// cut — it falls back to a full SearchTopK scan, so small or sparse
+// indexes behave exactly like exact mode. When it does return a full
+// K, completeness is probabilistic: pairs with similarity well above
+// ix.LSHParams().Threshold() are candidates almost surely, pairs well
+// below it are skipped by design.
+func SearchTopKLSH(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
+	if err := checkSearchArgs(ix, query, topK); err != nil {
+		return nil, err
+	}
+	cands := ix.lshCandidates(query.Signature)
+	if len(cands) >= ix.Len() {
+		return scoreRefs(ix.snapshot(), query, topK, minSim, pool), nil
+	}
+	results := scoreRefs(cands, query, topK, minSim, pool)
+	if len(results) >= topK {
+		return results, nil
+	}
+	// Fallback: score only the records the candidate pass skipped, then
+	// merge, so no sketch is scored twice.
+	inCands := make(map[string]struct{}, len(cands))
+	for _, c := range cands {
+		inCands[c.Name] = struct{}{}
+	}
+	var rest []*Sketch
+	for _, s := range ix.snapshot() {
+		if _, ok := inCands[s.Name]; !ok {
+			rest = append(rest, s)
+		}
+	}
+	results = append(results, scoreRefs(rest, query, topK, minSim, pool)...)
+	sortResults(results)
+	if len(results) > topK {
+		results = results[:topK]
+	}
+	return results, nil
+}
+
+func checkSearchArgs(ix *Index, query *Sketch, topK int) error {
 	if topK <= 0 {
-		return nil, fmt.Errorf("search: topK must be positive, got %d", topK)
+		return fmt.Errorf("search: topK must be positive, got %d", topK)
 	}
 	meta := ix.Metadata()
 	if query.K != meta.K || len(query.Signature) != meta.SignatureSize {
-		return nil, fmt.Errorf("search: query sketch (k=%d, size=%d) incompatible with index %q (k=%d, size=%d)",
+		return fmt.Errorf("search: query sketch (k=%d, size=%d) incompatible with index %q (k=%d, size=%d)",
 			query.K, len(query.Signature), meta.Name, meta.K, meta.SignatureSize)
 	}
-	refs := ix.snapshot()
+	return nil
+}
+
+// scoreRefs exact-scores query against refs over pool, filters
+// self-hits and sub-minSim results, and returns the sorted top K.
+// Compatibility of refs with query must be pre-checked by the caller.
+func scoreRefs(refs []*Sketch, query *Sketch, topK int, minSim float64, pool *Pool) []Result {
 	if len(refs) == 0 {
-		return nil, nil
+		return nil
 	}
 	if pool == nil {
 		pool = NewPool(0)
@@ -65,7 +145,7 @@ func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) 
 			results[i] = Result{Similarity: -1} // sentinel, filtered below
 			return
 		}
-		sim, _ := Similarity(query, ref) // compatibility pre-checked above
+		sim, _ := Similarity(query, ref) // compatibility pre-checked by caller
 		results[i] = Result{Query: query.Name, Ref: ref.Name, Similarity: sim, Distance: 1 - sim}
 	})
 	kept := results[:0]
@@ -78,7 +158,7 @@ func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) 
 	if len(kept) > topK {
 		kept = kept[:topK]
 	}
-	return kept, nil
+	return kept
 }
 
 func sameSignature(a, b *Sketch) bool {

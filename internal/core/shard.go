@@ -1,0 +1,81 @@
+package core
+
+import "sync"
+
+// DefaultShards is the number of lock-striped shards an index uses
+// unless configured otherwise.
+const DefaultShards = 16
+
+// shard owns one stripe of the index: the sketches whose names hash to
+// it, plus the LSH band postings for those sketches. Each shard has its
+// own lock, so concurrent adds and candidate probes on different
+// stripes never contend.
+type shard struct {
+	mu       sync.RWMutex
+	sketches map[string]*Sketch
+	bands    *bandIndex
+}
+
+func newShard(p LSHParams) *shard {
+	return &shard{sketches: make(map[string]*Sketch), bands: newBandIndex(p)}
+}
+
+func newShards(n int, p LSHParams) []*shard {
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = newShard(p)
+	}
+	return shards
+}
+
+// add inserts s unless a sketch with the same name is already present;
+// it reports whether the insert happened.
+func (sh *shard) add(s *Sketch) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.sketches[s.Name]; exists {
+		return false
+	}
+	sh.sketches[s.Name] = s
+	sh.bands.add(s.Name, s.Signature)
+	return true
+}
+
+// get returns the sketch named name, or nil.
+func (sh *shard) get(name string) *Sketch {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.sketches[name]
+}
+
+// candidates returns the sketches in this shard sharing at least one
+// LSH band bucket with sig. Names hit by several bands are returned
+// once.
+func (sh *shard) candidates(sig []uint64) []*Sketch {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	seen := make(map[string]struct{})
+	sh.bands.collect(sig, seen)
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]*Sketch, 0, len(seen))
+	for name := range seen {
+		out = append(out, sh.sketches[name])
+	}
+	return out
+}
+
+// shardFor maps a record name onto one of n stripes with FNV-1a.
+func shardFor(name string, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}

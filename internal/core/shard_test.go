@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// plantedCorpus builds an index of n records through Engine.AddBatch,
+// `planted` of which are near-duplicates of the returned query sketch
+// (named "near-<i>"); the rest is random filler. Everything is
+// deterministic in seed.
+func plantedCorpus(tb testing.TB, n, planted int, seed int64) (*Index, *Sketch) {
+	tb.Helper()
+	const recBytes = 256
+	eng, err := NewEngine(Options{IndexName: "planted"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	base := benchData(recBytes, seed)
+	recs := make([]Record, 0, n)
+	for i := 0; i < planted; i++ {
+		data := make([]byte, len(base))
+		copy(data, base)
+		rng := rand.New(rand.NewSource(seed + int64(i) + 1))
+		for j := 0; j < 5; j++ {
+			data[rng.Intn(len(data))] = byte('a' + rng.Intn(26))
+		}
+		recs = append(recs, Record{Name: fmt.Sprintf("near-%d", i), Data: data})
+	}
+	for i := planted; i < n; i++ {
+		recs = append(recs, Record{Name: fmt.Sprintf("rand-%d", i), Data: benchData(recBytes, seed+int64(i)+1000)})
+	}
+	added, err := eng.AddBatch(recs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if added != n {
+		tb.Fatalf("AddBatch added %d, want %d", added, n)
+	}
+	return eng.Index(), eng.Sketcher().Sketch(Record{Name: "query", Data: base})
+}
+
+func TestShardFor(t *testing.T) {
+	const shards = 16
+	hit := make([]int, shards)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("record-%d", i)
+		s := shardFor(name, shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("shardFor(%q, %d) = %d, out of range", name, shards, s)
+		}
+		if s != shardFor(name, shards) {
+			t.Fatalf("shardFor(%q) is not deterministic", name)
+		}
+		hit[s]++
+	}
+	for i, n := range hit {
+		if n == 0 {
+			t.Errorf("shard %d received no records out of 1000; striping is degenerate", i)
+		}
+	}
+}
+
+// TestShardedConcurrentAddBatchSearch hammers a sharded index with
+// concurrent AddBatch writers and LSH/exact readers; it exists to run
+// under -race.
+func TestShardedConcurrentAddBatchSearch(t *testing.T) {
+	eng, err := NewEngine(Options{Threads: 4, Shards: 8, IndexName: "conc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := Record{Name: "query", Data: []byte("the query payload shared by all concurrent readers here")}
+
+	const writers, readers, perBatch, batches = 4, 4, 25, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				recs := make([]Record, perBatch)
+				for i := range recs {
+					recs[i] = Record{
+						Name: fmt.Sprintf("w%d-b%d-rec%d", w, b, i),
+						Data: []byte(fmt.Sprintf("record payload %d/%d from writer %d with extra text", b, i, w)),
+					}
+				}
+				if _, err := eng.AddBatch(recs); err != nil {
+					t.Errorf("AddBatch: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := eng.Search(query, 3, 0); err != nil {
+					t.Errorf("lsh search: %v", err)
+					return
+				}
+				q := eng.Sketcher().Sketch(query)
+				if _, err := SearchTopK(eng.Index(), q, 3, 0, eng.Pool()); err != nil {
+					t.Errorf("exact search: %v", err)
+					return
+				}
+				eng.Index().Len()
+				eng.Index().Metadata()
+				eng.Index().Names()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got, want := eng.Index().Len(), writers*batches*perBatch; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if got := eng.Index().Metadata().RecordCount; got != writers*batches*perBatch {
+		t.Fatalf("RecordCount = %d, want %d", got, writers*batches*perBatch)
+	}
+}
+
+func TestEngineAddBatch(t *testing.T) {
+	eng, err := NewEngine(Options{K: 4, SignatureSize: 32, IndexName: "batch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := eng.AddBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty AddBatch = %d, %v; want 0, nil", n, err)
+	}
+	recs := []Record{
+		{Name: "a", Data: []byte("first record payload with enough bytes")},
+		{Name: "b", Data: []byte("second record payload, different text")},
+		{Name: "c", Data: []byte("third record payload, different again")},
+	}
+	if n, err := eng.AddBatch(recs); n != 3 || err != nil {
+		t.Fatalf("AddBatch = %d, %v; want 3, nil", n, err)
+	}
+	// Re-adding the same batch plus one new record adds only the new one.
+	recs = append(recs, Record{Name: "d", Data: []byte("a fourth, fresh record payload here")})
+	if n, err := eng.AddBatch(recs); n != 1 || err != nil {
+		t.Fatalf("duplicate AddBatch = %d, %v; want 1, nil", n, err)
+	}
+	if eng.Index().Len() != 4 {
+		t.Fatalf("Len = %d, want 4", eng.Index().Len())
+	}
+	// A record with an empty name surfaces the index's validation error.
+	if _, err := eng.AddBatch([]Record{{Name: "", Data: []byte("nameless")}}); err == nil {
+		t.Fatal("AddBatch with empty name: want error")
+	}
+	// In-batch repeats: the first occurrence wins deterministically.
+	dup := []Record{
+		{Name: "e", Data: []byte("the first occurrence of record e wins")},
+		{Name: "e", Data: []byte("the second occurrence must be dropped")},
+	}
+	if n, err := eng.AddBatch(dup); n != 1 || err != nil {
+		t.Fatalf("in-batch duplicate AddBatch = %d, %v; want 1, nil", n, err)
+	}
+	want := eng.Sketcher().Sketch(dup[0])
+	if got := eng.Index().Get("e"); !equalSig(got.Signature, want.Signature) {
+		t.Fatal("in-batch duplicate: second occurrence overwrote the first")
+	}
+}
+
+func TestRebucket(t *testing.T) {
+	ix, q := plantedCorpus(t, 200, 20, 3)
+	pool := NewPool(0)
+	before, err := SearchTopKLSH(ix, q, 10, 0, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retune to a coarser scheme and a different stripe count; planted
+	// near-duplicates sit far above both thresholds, so the top-K list
+	// must be unchanged.
+	if err := ix.Rebucket(LSHParams{Bands: 16, RowsPerBand: 8}, 4); err != nil {
+		t.Fatal(err)
+	}
+	meta := ix.Metadata()
+	if meta.Bands != 16 || meta.RowsPerBand != 8 || meta.Shards != 4 {
+		t.Fatalf("metadata after Rebucket = %+v", meta)
+	}
+	if ix.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", ix.ShardCount())
+	}
+	after, err := SearchTopKLSH(ix, q, 10, 0, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("result count changed across Rebucket: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("result %d changed across Rebucket: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+	// Invalid schemes are rejected and leave the index untouched.
+	if err := ix.Rebucket(LSHParams{Bands: 5, RowsPerBand: 5}, 4); err == nil {
+		t.Fatal("Rebucket with non-covering scheme: want error")
+	}
+	if err := ix.Rebucket(LSHParams{Bands: 16, RowsPerBand: 8}, 0); err == nil {
+		t.Fatal("Rebucket with zero shards: want error")
+	}
+	if ix.ShardCount() != 4 {
+		t.Fatalf("failed Rebucket mutated the index: ShardCount = %d", ix.ShardCount())
+	}
+}

@@ -2,20 +2,28 @@
 # bench.sh — run the Go microbenchmarks and emit results as JSON, so
 # BENCH_*.json files form a trajectory across PRs.
 #
-# Usage: scripts/bench.sh [output.json] [benchtime]
-#   output.json  defaults to BENCH_<utc timestamp>.json
-#   benchtime    passed to -benchtime (default 1x for a fast smoke run)
+# Usage:
+#   scripts/bench.sh [output.json] [benchtime]
+#       Run all benchmarks and write a JSON report.
+#       output.json  defaults to BENCH_<utc timestamp>.json
+#       benchtime    passed to -benchtime (default 1x for a fast smoke run)
+#
+#   scripts/bench.sh compare [baseline.json] [benchtime]
+#       Run a fresh pass and diff it against a committed baseline
+#       (default BENCH_baseline.json), printing a markdown table.
+#       Exits non-zero if any benchmark regresses by more than 25%
+#       ns/op against the baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_$(date -u +%Y%m%dT%H%M%SZ).json}"
-benchtime="${2:-1x}"
+# run_bench OUT BENCHTIME — run all benchmarks, write the JSON report.
+run_bench() {
+    local out="$1" benchtime="$2" raw
+    raw="$(go test -run '^$' -bench=. -benchmem -benchtime="$benchtime" ./...)"
 
-raw="$(go test -run '^$' -bench=. -benchmem -benchtime="$benchtime" ./...)"
-
-awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+    awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+        -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -49,4 +57,69 @@ END {
     printf "  ]\n}\n"
 }' <<<"$raw" >"$out"
 
-echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)" >&2
+    echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)" >&2
+}
+
+# extract FILE — benchmark name/ns_per_op pairs, one per line, with the
+# GOMAXPROCS suffix stripped so runs from machines with different core
+# counts stay comparable.
+extract() {
+    awk -F'"' '/"name":/ {
+        name = $4
+        sub(/-[0-9]+$/, "", name)
+        if (match($0, /"ns_per_op": [0-9.]+/))
+            print name "\t" substr($0, RSTART + 13, RLENGTH - 13)
+    }' "$1"
+}
+
+# compare BASELINE CURRENT — markdown diff table; exit 1 on >25% ns/op
+# regression in any benchmark present in both files.
+compare() {
+    local baseline="$1" current="$2"
+    awk -F'\t' '
+NR == FNR { base[$1] = $2; next }
+{ cur[$1] = $2; order[n++] = $1 }
+END {
+    printf "| benchmark | baseline ns/op | current ns/op | delta |\n"
+    printf "|---|---:|---:|---:|\n"
+    fail = 0
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (!(name in base)) {
+            printf "| %s | - | %s | new |\n", name, cur[name]
+            continue
+        }
+        delta = (cur[name] - base[name]) / base[name] * 100
+        mark = ""
+        if (cur[name] > base[name] * 1.25) { mark = " **REGRESSION**"; fail = 1 }
+        printf "| %s | %s | %s | %+.1f%%%s |\n", name, base[name], cur[name], delta, mark
+    }
+    for (name in base)
+        if (!(name in cur))
+            printf "| %s | %s | - | removed |\n", name, base[name]
+    exit fail
+}' <(extract "$baseline") <(extract "$current")
+}
+
+if [[ "${1:-}" == "compare" ]]; then
+    baseline="${2:-BENCH_baseline.json}"
+    benchtime="${3:-1x}"
+    if [[ ! -f "$baseline" ]]; then
+        echo "bench.sh: baseline $baseline not found" >&2
+        exit 2
+    fi
+    fresh="$(mktemp -t bench-current.XXXXXX.json)"
+    trap 'rm -f "$fresh"' EXIT
+    run_bench "$fresh" "$benchtime"
+    echo "### Benchmark comparison vs $baseline"
+    if compare "$baseline" "$fresh"; then
+        echo
+        echo "No >25% ns/op regressions."
+    else
+        echo
+        echo "At least one benchmark regressed by >25% ns/op." >&2
+        exit 1
+    fi
+else
+    run_bench "${1:-BENCH_$(date -u +%Y%m%dT%H%M%SZ).json}" "${2:-1x}"
+fi
