@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test cover bench bench-json bench-compare lint clean
+.PHONY: all build vet test cover bench bench-json bench-compare smoke lint clean
 
 all: build vet test
 
@@ -31,6 +31,9 @@ bench-json:
 
 bench-compare:
 	./scripts/bench.sh compare BENCH_baseline.json
+
+smoke:
+	./scripts/smoke_http.sh
 
 lint:
 	@if command -v golangci-lint >/dev/null 2>&1; then \

@@ -5,6 +5,7 @@
 //	engine sketch -o index.json [flags] file...   sketch files into an index
 //	engine dist [flags] file...                   all-vs-all pairwise distances
 //	engine search -d index.json [flags] file...   top-K similarity search
+//	engine serve -addr :8080 -d index.json        serve the index over HTTP
 package main
 
 import (
@@ -35,6 +36,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		err = cmdDist(argv[1:], stdout, stderr)
 	case "search":
 		err = cmdSearch(argv[1:], stdout, stderr)
+	case "serve":
+		err = cmdServe(argv[1:], stdout, stderr)
 	case "version", "-version", "--version":
 		fmt.Fprintf(stdout, "engine %s\n", core.Version)
 	case "help", "-h", "-help", "--help":
@@ -79,17 +82,32 @@ Commands:
   sketch   sketch input files into a JSON index (incremental; existing names are skipped)
   dist     all-vs-all pairwise distances between input files
   search   top-K similarity search of query files against a saved index
+  serve    long-lived HTTP server: batched ingest, search, stats, snapshots
   version  print the engine version
 
 Run "engine <command> -h" for per-command flags.
 `)
 }
 
-// sketchFlags adds the flags shared by all subcommands.
+// newFlagSet returns the FlagSet every subcommand starts from:
+// continue-on-error parsing with diagnostics on stderr.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// threadsFlag adds the worker-pool flag shared by every subcommand.
+func threadsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("threads", 0, "worker pool size (0 = GOMAXPROCS)")
+}
+
+// sketchFlags adds the sketching-parameter flags shared by the
+// subcommands that may create an index.
 func sketchFlags(fs *flag.FlagSet) (k, size, threads *int) {
 	k = fs.Int("k", core.DefaultK, "shingle (k-mer) length")
 	size = fs.Int("size", core.DefaultSignatureSize, "minhash signature size (slots)")
-	threads = fs.Int("threads", 0, "worker pool size (0 = GOMAXPROCS)")
+	threads = threadsFlag(fs)
 	return
 }
 
@@ -119,9 +137,30 @@ func resolveLSH(bands, rows, shards, sigSize int) (core.LSHParams, int, error) {
 	return lsh, shards, nil
 }
 
+// warnIgnoredIndexFlags warns about explicitly-set flags that conflict
+// with an existing index's stored parameters; the stored parameters
+// always win so an index is never silently re-parameterized.
+func warnIgnoredIndexFlags(cmd string, fs *flag.FlagSet, meta core.Metadata,
+	k, size, bands, rows, shards int, name string, stderr io.Writer) {
+	flagSet := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
+	if (flagSet["k"] && meta.K != k) || (flagSet["size"] && meta.SignatureSize != size) {
+		fmt.Fprintf(stderr, "engine: %s: existing index %q uses k=%d size=%d; ignoring -k/-size flags\n",
+			cmd, meta.Name, meta.K, meta.SignatureSize)
+	}
+	if (flagSet["bands"] && meta.Bands != bands) || (flagSet["rows"] && meta.RowsPerBand != rows) ||
+		(flagSet["shards"] && meta.Shards != shards) {
+		fmt.Fprintf(stderr, "engine: %s: existing index %q uses bands=%d rows=%d shards=%d; ignoring -bands/-rows/-shards flags\n",
+			cmd, meta.Name, meta.Bands, meta.RowsPerBand, meta.Shards)
+	}
+	if flagSet["name"] && meta.Name != name {
+		fmt.Fprintf(stderr, "engine: %s: existing index is named %q; ignoring -name %q\n",
+			cmd, meta.Name, name)
+	}
+}
+
 func cmdSketch(argv []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("sketch", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := newFlagSet("sketch", stderr)
 	k, size, threads := sketchFlags(fs)
 	bands, rows, shards := lshFlags(fs)
 	out := fs.String("o", "index.json", "output index path (loaded first if it exists)")
@@ -138,21 +177,7 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	meta := ix.Metadata()
-	flagSet := map[string]bool{}
-	fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
-	if (flagSet["k"] && meta.K != *k) || (flagSet["size"] && meta.SignatureSize != *size) {
-		fmt.Fprintf(stderr, "engine: sketch: existing index %q uses k=%d size=%d; ignoring -k/-size flags\n",
-			meta.Name, meta.K, meta.SignatureSize)
-	}
-	if (flagSet["bands"] && meta.Bands != *bands) || (flagSet["rows"] && meta.RowsPerBand != *rows) ||
-		(flagSet["shards"] && meta.Shards != *shards) {
-		fmt.Fprintf(stderr, "engine: sketch: existing index %q uses bands=%d rows=%d shards=%d; ignoring -bands/-rows/-shards flags\n",
-			meta.Name, meta.Bands, meta.RowsPerBand, meta.Shards)
-	}
-	if flagSet["name"] && meta.Name != *name {
-		fmt.Fprintf(stderr, "engine: sketch: existing index is named %q; ignoring -name %q\n",
-			meta.Name, *name)
-	}
+	warnIgnoredIndexFlags("sketch", fs, meta, *k, *size, *bands, *rows, *shards, *name, stderr)
 	eng, err := core.NewEngineWithIndex(ix, *threads)
 	if err != nil {
 		return err
@@ -191,8 +216,7 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 }
 
 func cmdDist(argv []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("dist", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := newFlagSet("dist", stderr)
 	k, size, threads := sketchFlags(fs)
 	if err := parseFlags(fs, argv); err != nil {
 		return err
@@ -225,11 +249,10 @@ func cmdDist(argv []string, stdout, stderr io.Writer) error {
 }
 
 func cmdSearch(argv []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("search", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := newFlagSet("search", stderr)
 	// No -k/-size here: queries are always sketched with the index's own
 	// parameters (see below).
-	threads := fs.Int("threads", 0, "worker pool size (0 = GOMAXPROCS)")
+	threads := threadsFlag(fs)
 	bands, rows, shards := lshFlags(fs)
 	db := fs.String("d", "", "index file to search (required)")
 	topK := fs.Int("top", 5, "maximum results per query")

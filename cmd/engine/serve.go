@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sketchengine/internal/core"
+	"sketchengine/internal/server"
+)
+
+// serveBaseContext is the parent of the serve loop's signal context.
+// Tests override it to stop a running serve command without delivering
+// real signals to the test process.
+var serveBaseContext = context.Background
+
+func cmdServe(argv []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("serve", stderr)
+	k, size, threads := sketchFlags(fs)
+	bands, rows, shards := lshFlags(fs)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	db := fs.String("d", "index.json", "index file: loaded if present, created otherwise, and the snapshot destination")
+	name := fs.String("name", "default", "index name (new indexes only)")
+	modeFlag := fs.String("mode", "lsh", "default search mode: lsh or exact (requests may override)")
+	snapEvery := fs.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (0 disables; shutdown always snapshots)")
+	maxInFlight := fs.Int("max-inflight", server.DefaultMaxInFlight, "max concurrently served requests")
+	maxBatch := fs.Int("max-batch", server.DefaultMaxBatch, "max records per ingest request and per coalesced index batch")
+	queueDepth := fs.Int("queue-depth", server.DefaultQueueDepth, "ingest queue capacity, in pending requests")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "max request body size in bytes")
+	drain := fs.Duration("drain-timeout", server.DefaultDrainTimeout, "how long shutdown waits for in-flight requests")
+	if err := parseFlags(fs, argv); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %q (records are ingested over HTTP, not the command line)", fs.Args())
+	}
+	mode, err := core.ParseSearchMode(*modeFlag)
+	if err != nil {
+		return err
+	}
+	ix, err := loadOrCreateIndex(*db, *name, *k, *size, *bands, *rows, *shards)
+	if err != nil {
+		return err
+	}
+	meta := ix.Metadata()
+	warnIgnoredIndexFlags("serve", fs, meta, *k, *size, *bands, *rows, *shards, *name, stderr)
+	eng, err := core.NewEngineWithIndex(ix, *threads)
+	if err != nil {
+		return err
+	}
+	eng.SetMode(mode)
+	srv, err := server.New(eng, server.Config{
+		Addr:          *addr,
+		IndexPath:     *db,
+		SnapshotEvery: *snapEvery,
+		MaxInFlight:   *maxInFlight,
+		MaxBatch:      *maxBatch,
+		MaxBodyBytes:  *maxBody,
+		QueueDepth:    *queueDepth,
+		DrainTimeout:  *drain,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "engine: serve: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serving\taddr=%s\tindex=%s\trecords=%d\tmode=%s\tsnapshot=%s\n",
+		bound, meta.Name, ix.Len(), mode, *db)
+	ctx, stop := signal.NotifyContext(serveBaseContext(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.Serve(ctx)
+}

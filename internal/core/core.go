@@ -15,11 +15,14 @@
 //     candidates instead of scanning the whole corpus (see SearchTopKLSH).
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Version identifies the engine build. It is reported by the CLI and
 // stamped into saved index metadata.
-const Version = "0.2.0"
+const Version = "0.3.0"
 
 // Options configures an Engine. Zero values fall back to the package
 // defaults (DefaultK, DefaultSignatureSize, GOMAXPROCS workers,
@@ -139,47 +142,114 @@ func (e *Engine) Add(rec Record) (bool, error) {
 // When the batch itself repeats a name, the first occurrence wins, as
 // it would under sequential Adds.
 func (e *Engine) AddBatch(recs []Record) (int, error) {
+	oks, err := e.AddBatchResults(recs)
+	added := 0
+	for _, ok := range oks {
+		if ok {
+			added++
+		}
+	}
+	return added, err
+}
+
+// AddBatchResults is AddBatch with per-record outcomes: oks[i] reports
+// whether recs[i] was added (false means its name was already indexed,
+// or repeated earlier in the batch). Callers that coalesce several
+// independent requests into one batch — like the HTTP ingest queue —
+// use the flags to split the combined result back per request. On
+// error, the flags for records processed before the failure are still
+// meaningful.
+func (e *Engine) AddBatchResults(recs []Record) ([]bool, error) {
 	if len(recs) == 0 {
-		return 0, nil
+		return nil, nil
 	}
 	// Drop in-batch repeats before the concurrent inserts so which
 	// record wins never depends on goroutine scheduling.
 	seen := make(map[string]struct{}, len(recs))
-	unique := make([]Record, 0, len(recs))
-	for _, rec := range recs {
+	unique := make([]int, 0, len(recs))
+	for i, rec := range recs {
 		if _, dup := seen[rec.Name]; dup {
 			continue
 		}
 		seen[rec.Name] = struct{}{}
-		unique = append(unique, rec)
+		unique = append(unique, i)
 	}
-	recs = unique
-	sketches := make([]*Sketch, len(recs))
-	e.pool.Map(len(recs), func(i int) {
-		sketches[i] = e.sketcher.Sketch(recs[i])
+	sketches := make([]*Sketch, len(unique))
+	e.pool.Map(len(unique), func(j int) {
+		sketches[j] = e.sketcher.Sketch(recs[unique[j]])
 	})
-	oks := make([]bool, len(sketches))
-	errs := make([]error, len(sketches))
-	e.pool.Map(len(sketches), func(i int) {
-		oks[i], errs[i] = e.index.Add(sketches[i])
+	oks := make([]bool, len(unique))
+	errs := make([]error, len(unique))
+	e.pool.Map(len(unique), func(j int) {
+		oks[j], errs[j] = e.index.Add(sketches[j])
 	})
-	added := 0
-	for i := range sketches {
-		if errs[i] != nil {
-			return added, errs[i]
+	added := make([]bool, len(recs))
+	for j, i := range unique {
+		if errs[j] != nil {
+			return added, errs[j]
 		}
-		if oks[i] {
-			added++
-		}
+		added[i] = oks[j]
 	}
 	return added, nil
+}
+
+// Stats is a point-in-time snapshot of engine and index state, exposed
+// for observability surfaces (the HTTP /stats endpoint, dashboards).
+// ShardOccupancy has one entry per lock stripe; heavy skew means one
+// stripe's lock carries most of the write traffic.
+type Stats struct {
+	IndexName      string     `json:"index_name"`
+	Records        int        `json:"records"`
+	K              int        `json:"k"`
+	SignatureSize  int        `json:"signature_size"`
+	Bands          int        `json:"bands"`
+	RowsPerBand    int        `json:"rows_per_band"`
+	LSHThreshold   float64    `json:"lsh_threshold"`
+	Shards         int        `json:"shards"`
+	ShardOccupancy []int      `json:"shard_occupancy"`
+	Mode           SearchMode `json:"mode"`
+	Generation     uint64     `json:"generation"`
+	CreatedAt      time.Time  `json:"created_at"`
+	UpdatedAt      time.Time  `json:"updated_at"`
+}
+
+// Stats returns a consistent-enough snapshot of the engine for
+// monitoring: each field is read atomically, but concurrent adds may
+// land between reads, so Records and ShardOccupancy can differ by
+// in-flight records.
+func (e *Engine) Stats() Stats {
+	meta := e.index.Metadata()
+	lsh := e.index.LSHParams()
+	return Stats{
+		IndexName:      meta.Name,
+		Records:        meta.RecordCount,
+		K:              meta.K,
+		SignatureSize:  meta.SignatureSize,
+		Bands:          lsh.Bands,
+		RowsPerBand:    lsh.RowsPerBand,
+		LSHThreshold:   lsh.Threshold(),
+		Shards:         e.index.ShardCount(),
+		ShardOccupancy: e.index.Occupancy(),
+		Mode:           e.mode,
+		Generation:     e.index.Generation(),
+		CreatedAt:      meta.CreatedAt,
+		UpdatedAt:      meta.UpdatedAt,
+	}
 }
 
 // Search sketches rec and returns its top-K nearest index entries,
 // scanning per the engine's search mode.
 func (e *Engine) Search(rec Record, topK int, minSim float64) ([]Result, error) {
+	return e.SearchMode(rec, e.mode, topK, minSim)
+}
+
+// SearchMode is Search with an explicit scan mode overriding the
+// engine default for this query only — the single dispatch site shared
+// by the CLI (engine-wide mode) and the HTTP serving layer
+// (per-request mode overrides).
+func (e *Engine) SearchMode(rec Record, mode SearchMode, topK int, minSim float64) ([]Result, error) {
 	q := e.sketcher.Sketch(rec)
-	if e.mode == ModeExact {
+	if mode == ModeExact {
 		return SearchTopK(e.index, q, topK, minSim, e.pool)
 	}
 	return SearchTopKLSH(e.index, q, topK, minSim, e.pool)

@@ -78,3 +78,88 @@ func TestEngineAddAndSearch(t *testing.T) {
 		t.Fatalf("results = %v, want close ranked first", results)
 	}
 }
+
+func TestEngineAddBatchResults(t *testing.T) {
+	e, err := NewEngine(Options{K: 4, SignatureSize: 64, IndexName: "batched"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Add(Record{Name: "pre", Data: []byte("already indexed payload")}); err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Name: "a", Data: []byte("first fresh record payload in this batch")},
+		{Name: "pre", Data: []byte("collides with an indexed name")},
+		{Name: "a", Data: []byte("repeats a name earlier in the batch")},
+		{Name: "b", Data: []byte("second fresh record payload in this batch")},
+	}
+	oks, err := e.AddBatchResults(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, false, true}
+	if len(oks) != len(want) {
+		t.Fatalf("got %d flags, want %d", len(oks), len(want))
+	}
+	for i := range want {
+		if oks[i] != want[i] {
+			t.Fatalf("oks = %v, want %v", oks, want)
+		}
+	}
+	if e.Index().Len() != 3 {
+		t.Fatalf("index has %d records, want 3", e.Index().Len())
+	}
+	// AddBatch sees the same outcomes through its count.
+	if n, err := e.AddBatch(recs); err != nil || n != 0 {
+		t.Fatalf("re-AddBatch = %d, %v; want 0, nil", n, err)
+	}
+	if oks, err := e.AddBatchResults(nil); err != nil || oks != nil {
+		t.Fatalf("empty batch = %v, %v; want nil, nil", oks, err)
+	}
+}
+
+func TestEngineStatsAndGeneration(t *testing.T) {
+	e, err := NewEngine(Options{K: 4, SignatureSize: 32, IndexName: "stats", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := e.Index().Generation(); gen != 0 {
+		t.Fatalf("fresh generation = %d, want 0", gen)
+	}
+	recs := []Record{
+		{Name: "one", Data: []byte("payload number one for the stats test")},
+		{Name: "two", Data: []byte("payload number two for the stats test")},
+		{Name: "three", Data: []byte("payload number three for the stats test")},
+	}
+	if _, err := e.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.IndexName != "stats" || st.Records != 3 || st.K != 4 || st.SignatureSize != 32 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Shards != 4 || len(st.ShardOccupancy) != 4 {
+		t.Fatalf("shard stats = %+v", st)
+	}
+	occ := 0
+	for _, n := range st.ShardOccupancy {
+		occ += n
+	}
+	if occ != 3 {
+		t.Fatalf("occupancy sums to %d, want 3", occ)
+	}
+	if st.Generation != 3 {
+		t.Fatalf("generation = %d, want 3 (one bump per add)", st.Generation)
+	}
+	if st.Mode != ModeLSH || st.Bands == 0 || st.LSHThreshold <= 0 {
+		t.Fatalf("lsh stats = %+v", st)
+	}
+	// Duplicate adds do not advance the generation: snapshotters can
+	// trust "unchanged generation" to mean "nothing new to save".
+	if _, err := e.Add(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if gen := e.Index().Generation(); gen != 3 {
+		t.Fatalf("generation after duplicate add = %d, want 3", gen)
+	}
+}

@@ -46,11 +46,12 @@ type Metadata struct {
 // Rebucket. Adds are incremental: a sketch whose name is already
 // present is skipped, never overwritten.
 type Index struct {
-	mu     sync.RWMutex // guards meta, order, and the shards slice header
+	mu     sync.RWMutex // guards meta, order, gen, and the shards slice header
 	meta   Metadata
 	order  []string // insertion order, for deterministic iteration
 	shards []*shard
 	lsh    LSHParams
+	gen    uint64 // bumped on every successful Add; see Generation
 }
 
 // NewIndex returns an empty index accepting sketches with the given
@@ -138,8 +139,33 @@ func (ix *Index) Add(s *Sketch) (bool, error) {
 	ix.order = append(ix.order, s.Name)
 	ix.meta.RecordCount = len(ix.order)
 	ix.meta.UpdatedAt = time.Now().UTC()
+	ix.gen++
 	ix.mu.Unlock()
 	return true, nil
+}
+
+// Generation returns a counter that increments on every successful Add.
+// It is the snapshot hook for long-lived servers: remember the
+// generation at the last save and skip the next one when it has not
+// moved, so idle periods never rewrite an unchanged index file.
+func (ix *Index) Generation() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.gen
+}
+
+// Occupancy returns the number of records held by each shard stripe, in
+// stripe order. It is an observability aid: a heavily skewed occupancy
+// means one stripe's lock is carrying most of the write traffic.
+func (ix *Index) Occupancy() []int {
+	ix.mu.RLock()
+	shards := ix.shards
+	ix.mu.RUnlock()
+	out := make([]int, len(shards))
+	for i, sh := range shards {
+		out[i] = sh.size()
+	}
+	return out
 }
 
 // Get returns the sketch named name, or nil if absent.

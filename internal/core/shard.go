@@ -41,6 +41,13 @@ func (sh *shard) add(s *Sketch) bool {
 	return true
 }
 
+// size returns the number of sketches in this stripe.
+func (sh *shard) size() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.sketches)
+}
+
 // get returns the sketch named name, or nil.
 func (sh *shard) get(name string) *Sketch {
 	sh.mu.RLock()

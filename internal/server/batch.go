@@ -1,0 +1,166 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"sketchengine/internal/core"
+)
+
+// errIngestClosed reports an enqueue against a shut-down queue; the
+// handler maps it to 503 so stragglers that slip past a timed-out
+// drain are refused instead of crashing the shutdown.
+var errIngestClosed = errors.New("ingest queue is shut down")
+
+// ingestItem is one ingest request waiting in the queue: its records
+// and a buffered reply channel the batcher resolves exactly once.
+type ingestItem struct {
+	recs []core.Record
+	resp chan ingestResult
+}
+
+// ingestResult carries per-record added flags (aligned with the
+// request's records) or the batch error shared by every coalesced
+// request.
+type ingestResult struct {
+	added []bool
+	err   error
+}
+
+// batcher owns the bounded ingest queue. A single goroutine drains it,
+// coalescing every immediately-pending request (up to maxBatch records)
+// into one Engine.AddBatchResults call, so a storm of small requests
+// pays for one pool fan-out instead of many tiny ones, while a lone
+// request is flushed without waiting. Enqueueing blocks when the queue
+// is full — backpressure, not load shedding — until the client gives
+// up or a slot frees.
+type batcher struct {
+	eng      *core.Engine
+	ch       chan ingestItem
+	done     chan struct{}
+	maxBatch int
+	metrics  *metrics
+
+	// mu excludes close from in-flight sends: senders hold the read
+	// side across their channel send, close takes the write side before
+	// closing ch. Without it, a drain that times out with a handler
+	// still blocked on a full queue would panic on send-to-closed.
+	mu     sync.RWMutex
+	closed bool
+}
+
+func newBatcher(eng *core.Engine, queueDepth, maxBatch int, m *metrics) *batcher {
+	b := &batcher{
+		eng:      eng,
+		ch:       make(chan ingestItem, queueDepth),
+		done:     make(chan struct{}),
+		maxBatch: maxBatch,
+		metrics:  m,
+	}
+	go b.run()
+	return b
+}
+
+// enqueue submits recs and waits for the batcher's verdict. It returns
+// ctx.Err() if the queue stays full or the reply does not arrive before
+// the request context ends, and errIngestClosed after close; an
+// abandoned reply is still delivered into the buffered channel, so the
+// batcher never blocks on a gone client.
+func (b *batcher) enqueue(ctx context.Context, recs []core.Record) ([]bool, error) {
+	item := ingestItem{recs: recs, resp: make(chan ingestResult, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, errIngestClosed
+	}
+	// The read lock is held across the (possibly blocking) send; the
+	// drainer keeps consuming until the channel actually closes, so the
+	// send always completes and close can take the write lock.
+	select {
+	case b.ch <- item:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case res := <-item.resp:
+		return res.added, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// depth returns the number of requests currently queued.
+func (b *batcher) depth() int { return len(b.ch) }
+
+// close stops accepting work and blocks until every queued request has
+// been flushed and answered. Safe against concurrent enqueues (they
+// get errIngestClosed) and against repeated calls.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.ch)
+	}
+	b.mu.Unlock()
+	<-b.done
+}
+
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		item, ok := <-b.ch
+		if !ok {
+			return
+		}
+		pending := []ingestItem{item}
+		total := len(item.recs)
+		// Coalesce whatever is already queued; never wait for more, so
+		// latency under light load is one AddBatch, not a timer.
+	coalesce:
+		for total < b.maxBatch {
+			select {
+			case more, ok := <-b.ch:
+				if !ok {
+					break coalesce
+				}
+				pending = append(pending, more)
+				total += len(more.recs)
+			default:
+				break coalesce
+			}
+		}
+		b.flush(pending, total)
+	}
+}
+
+// flush runs one coalesced AddBatch and splits the per-record flags
+// back across the waiting requests.
+func (b *batcher) flush(pending []ingestItem, total int) {
+	all := pending[0].recs
+	if len(pending) > 1 {
+		all = make([]core.Record, 0, total)
+		for _, it := range pending {
+			all = append(all, it.recs...)
+		}
+	}
+	oks, err := b.eng.AddBatchResults(all)
+	b.metrics.batches.Add(1)
+	b.metrics.batchedRecords.Add(int64(total))
+	off := 0
+	for _, it := range pending {
+		res := ingestResult{err: err}
+		if err == nil {
+			res.added = oks[off : off+len(it.recs)]
+			for _, ok := range res.added {
+				if ok {
+					b.metrics.recordsAdded.Add(1)
+				}
+			}
+		}
+		off += len(it.recs)
+		it.resp <- res
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"sketchengine/internal/core"
+)
+
+// benchPayload returns n bytes of deterministic pseudo-random text.
+func benchPayload(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte('a' + rng.Intn(26))
+	}
+	return string(data)
+}
+
+// newBenchServer preloads records records and fronts the server with a
+// keep-alive HTTP test server, so benchmarks measure the full serving
+// path: routing, middleware, JSON, queueing, and the engine.
+func newBenchServer(b *testing.B, records int) (*httptest.Server, *http.Client) {
+	b.Helper()
+	eng, err := core.NewEngine(core.Options{K: 8, SignatureSize: 128, IndexName: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]core.Record, records)
+	for i := range recs {
+		recs[i] = core.Record{
+			Name: fmt.Sprintf("bench-%d", i),
+			Data: []byte(benchPayload(1<<10, int64(i+1))),
+		}
+	}
+	if _, err := eng.AddBatch(recs); err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(eng, Config{QueueDepth: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	return ts, ts.Client()
+}
+
+func benchPost(b *testing.B, client *http.Client, url string, body []byte) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Error(err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServeSearch measures concurrent top-K search throughput
+// through the full HTTP stack against a 1k-record corpus.
+func BenchmarkServeSearch(b *testing.B) {
+	ts, client := newBenchServer(b, 1000)
+	query, err := json.Marshal(SearchRequest{
+		Name: "query",
+		Data: benchPayload(1<<10, 1), // near-duplicate of bench-0
+		K:    10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := ts.URL + "/v1/search"
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchPost(b, client, url, query)
+		}
+	})
+}
+
+// benchIngestSeq hands out globally unique record names so repeated
+// benchmark runs in one process never collide into skip-existing adds.
+var benchIngestSeq atomic.Int64
+
+// BenchmarkServeIngestWhileSearch interleaves batched ingest with
+// search across the parallel workers: the serving layer's
+// ingest-under-read contention path, exercising the coalescing queue
+// and the index's lock stripes together.
+func BenchmarkServeIngestWhileSearch(b *testing.B) {
+	ts, client := newBenchServer(b, 1000)
+	searchURL := ts.URL + "/v1/search"
+	ingestURL := ts.URL + "/v1/records"
+	query, err := json.Marshal(SearchRequest{
+		Name: "query",
+		Data: benchPayload(1<<10, 2),
+		K:    10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			seq := benchIngestSeq.Add(1)
+			if seq%4 == 0 { // one ingest per three searches
+				body, err := json.Marshal(IngestRequest{Records: []IngestRecord{{
+					Name: fmt.Sprintf("ingest-%d", seq),
+					Data: benchPayload(1<<10, seq+1_000_000),
+				}}})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				benchPost(b, client, ingestURL, body)
+				continue
+			}
+			benchPost(b, client, searchURL, query)
+		}
+	})
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sketchengine/internal/core"
+)
+
+// IngestRecord is one record in an ingest request body. Data carries
+// the record payload as a JSON string (UTF-8 text; arbitrary binary
+// payloads should be transported in an escaped form of the caller's
+// choosing — the engine sketches whatever bytes it is given).
+type IngestRecord struct {
+	Name string `json:"name"`
+	Data string `json:"data"`
+}
+
+// IngestRequest is the body of POST /v1/records.
+type IngestRequest struct {
+	Records []IngestRecord `json:"records"`
+}
+
+// IngestResponse reports what happened to an ingest request's records.
+// Skipped counts records whose names were already indexed (or repeated
+// within the request).
+type IngestResponse struct {
+	Received int `json:"received"`
+	Added    int `json:"added"`
+	Skipped  int `json:"skipped"`
+}
+
+// SearchRequest is the body of POST /v1/search. K, MinSimilarity and
+// Mode override the server defaults per request; zero values keep them
+// (K defaults to 10, Mode to the engine's mode).
+type SearchRequest struct {
+	Name          string  `json:"name"`
+	Data          string  `json:"data"`
+	K             int     `json:"k"`
+	MinSimilarity float64 `json:"min_similarity"`
+	Mode          string  `json:"mode"`
+}
+
+// SearchHit is one ranked search result.
+type SearchHit struct {
+	Rank       int     `json:"rank"`
+	Ref        string  `json:"ref"`
+	Similarity float64 `json:"similarity"`
+	Distance   float64 `json:"distance"`
+}
+
+// SearchResponse is the body returned by POST /v1/search.
+type SearchResponse struct {
+	Query   string      `json:"query"`
+	Mode    string      `json:"mode"`
+	Results []SearchHit `json:"results"`
+}
+
+// RecordResponse describes an indexed record (GET /v1/records/{name}).
+type RecordResponse struct {
+	Name          string `json:"name"`
+	K             int    `json:"k"`
+	SignatureSize int    `json:"signature_size"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Records int    `json:"records"`
+}
+
+// StatsResponse is the body of GET /stats: engine/index state plus the
+// server's request and ingest counters.
+type StatsResponse struct {
+	Engine        core.Stats   `json:"engine"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      RequestStats `json:"requests"`
+	Ingest        IngestStats  `json:"ingest"`
+	Snapshots     int64        `json:"snapshots"`
+}
+
+// RequestStats are the middleware counters.
+type RequestStats struct {
+	Total        int64 `json:"total"`
+	Status2xx    int64 `json:"status_2xx"`
+	Status4xx    int64 `json:"status_4xx"`
+	Status5xx    int64 `json:"status_5xx"`
+	InFlight     int64 `json:"in_flight"`
+	PeakInFlight int64 `json:"peak_in_flight"`
+	MaxInFlight  int   `json:"max_in_flight"`
+	Searches     int64 `json:"searches"`
+}
+
+// IngestStats describe the batching queue's behavior: Batches is the
+// number of coalesced AddBatch calls that served IngestRequests
+// requests, so BatchedRecords/Batches is the effective batch size.
+type IngestStats struct {
+	Requests       int64 `json:"requests"`
+	RecordsAdded   int64 `json:"records_added"`
+	Batches        int64 `json:"batches"`
+	BatchedRecords int64 `json:"batched_records"`
+	QueueDepth     int   `json:"queue_depth"`
+	QueueCapacity  int   `json:"queue_capacity"`
+	MaxBatch       int   `json:"max_batch"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/records", s.handleIngest)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("GET /v1/records/{name}", s.handleGetRecord)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ingestRequests.Add(1)
+	var req IngestRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Records) == 0 {
+		writeError(w, http.StatusBadRequest, "ingest: no records in request")
+		return
+	}
+	if len(req.Records) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("ingest: batch of %d records exceeds the %d-record limit", len(req.Records), s.cfg.MaxBatch))
+		return
+	}
+	recs := make([]core.Record, len(req.Records))
+	for i, rec := range req.Records {
+		if rec.Name == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("ingest: record %d has an empty name", i))
+			return
+		}
+		recs[i] = core.Record{Name: rec.Name, Data: []byte(rec.Data)}
+	}
+	oks, err := s.ingest.enqueue(r.Context(), recs)
+	if err != nil {
+		if errors.Is(err, errIngestClosed) {
+			writeError(w, http.StatusServiceUnavailable, "ingest: server is shutting down")
+			return
+		}
+		if errors.Is(err, r.Context().Err()) {
+			writeError(w, http.StatusServiceUnavailable, "ingest: request canceled while queued")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("ingest: %v", err))
+		return
+	}
+	resp := IngestResponse{Received: len(recs)}
+	for _, ok := range oks {
+		if ok {
+			resp.Added++
+		}
+	}
+	resp.Skipped = resp.Received - resp.Added
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	mode := s.eng.Mode()
+	if req.Mode != "" {
+		var err error
+		if mode, err = core.ParseSearchMode(req.Mode); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("search: k must be positive, got %d", k))
+		return
+	}
+	s.metrics.searches.Add(1)
+	results, err := s.eng.SearchMode(core.Record{Name: req.Name, Data: []byte(req.Data)}, mode, k, req.MinSimilarity)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("search: %v", err))
+		return
+	}
+	resp := SearchResponse{Query: req.Name, Mode: string(mode), Results: make([]SearchHit, len(results))}
+	for i, res := range results {
+		resp.Results[i] = SearchHit{Rank: i + 1, Ref: res.Ref, Similarity: res.Similarity, Distance: res.Distance}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sk := s.eng.Index().Get(name)
+	if sk == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("record %q is not indexed", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, RecordResponse{
+		Name:          sk.Name,
+		K:             sk.K,
+		SignatureSize: len(sk.Signature),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Records: s.eng.Index().Len()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Engine:        s.eng.Stats(),
+		UptimeSeconds: m.uptime().Seconds(),
+		Requests: RequestStats{
+			Total:        m.requests.Load(),
+			Status2xx:    m.status2xx.Load(),
+			Status4xx:    m.status4xx.Load(),
+			Status5xx:    m.status5xx.Load(),
+			InFlight:     m.inFlight.Load(),
+			PeakInFlight: m.peakInFlight.Load(),
+			MaxInFlight:  s.cfg.MaxInFlight,
+			Searches:     m.searches.Load(),
+		},
+		Ingest: IngestStats{
+			Requests:       m.ingestRequests.Load(),
+			RecordsAdded:   m.recordsAdded.Load(),
+			Batches:        m.batches.Load(),
+			BatchedRecords: m.batchedRecords.Load(),
+			QueueDepth:     s.ingest.depth(),
+			QueueCapacity:  s.cfg.QueueDepth,
+			MaxBatch:       s.cfg.MaxBatch,
+		},
+		Snapshots: m.snapshots.Load(),
+	})
+}
+
+// decodeBody decodes a JSON request body into v, enforcing the body
+// size cap and rejecting trailing garbage. It writes the error response
+// itself and reports whether decoding succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "malformed JSON body: trailing data")
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding these response types cannot fail; a broken connection
+	// surfaces to the client, not here.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}

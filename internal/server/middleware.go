@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server's request counters, all lock-free so the
+// hot path never serializes on observability.
+type metrics struct {
+	start time.Time
+
+	requests  atomic.Int64 // accepted past the limiter
+	status2xx atomic.Int64
+	status4xx atomic.Int64
+	status5xx atomic.Int64
+
+	inFlight     atomic.Int64
+	peakInFlight atomic.Int64 // high-water mark, proves the limiter's bound
+
+	searches       atomic.Int64
+	ingestRequests atomic.Int64
+	recordsAdded   atomic.Int64
+	batches        atomic.Int64 // coalesced AddBatch calls
+	batchedRecords atomic.Int64 // records across those calls
+	snapshots      atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+func (m *metrics) uptime() time.Duration { return time.Since(m.start) }
+
+// trackInFlight bumps the in-flight gauge and maintains its high-water
+// mark; the returned func undoes the bump.
+func (m *metrics) trackInFlight() func() {
+	n := m.inFlight.Add(1)
+	for {
+		peak := m.peakInFlight.Load()
+		if n <= peak || m.peakInFlight.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	return func() { m.inFlight.Add(-1) }
+}
+
+func (m *metrics) observeStatus(code int) {
+	switch {
+	case code >= 500:
+		m.status5xx.Add(1)
+	case code >= 400:
+		m.status4xx.Add(1)
+	default:
+		m.status2xx.Add(1)
+	}
+}
+
+// statusWriter records the status code a handler wrote (200 when the
+// handler never called WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// limit is the concurrency-limit middleware: at most MaxInFlight
+// requests run at once, and excess requests wait on the semaphore
+// rather than being shed, so bursts queue instead of failing. A client
+// that gives up while waiting gets 503.
+func (s *Server) limit(next http.Handler) http.Handler {
+	sem := make(chan struct{}, s.cfg.MaxInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, "server overloaded")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// count is the observability middleware: request totals, status
+// classes, and the in-flight gauge behind the limiter.
+func (s *Server) count(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		defer s.metrics.trackInFlight()()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.metrics.observeStatus(sw.code)
+	})
+}

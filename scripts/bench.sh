@@ -17,10 +17,13 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-# run_bench OUT BENCHTIME — run all benchmarks, write the JSON report.
+# run_bench OUT BENCHTIME — run all benchmarks (core microbenchmarks
+# and the internal/server HTTP serving benchmarks), write the JSON
+# report. The explicit -timeout gives the HTTP benchmarks headroom on
+# slow runners.
 run_bench() {
     local out="$1" benchtime="$2" raw
-    raw="$(go test -run '^$' -bench=. -benchmem -benchtime="$benchtime" ./...)"
+    raw="$(go test -run '^$' -bench=. -benchmem -benchtime="$benchtime" -timeout 20m ./...)"
 
     awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
         -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
