@@ -15,6 +15,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"sketchengine/internal/core"
 )
@@ -104,11 +106,55 @@ func threadsFlag(fs *flag.FlagSet) *int {
 
 // sketchFlags adds the sketching-parameter flags shared by the
 // subcommands that may create an index.
-func sketchFlags(fs *flag.FlagSet) (k, size, threads *int) {
+func sketchFlags(fs *flag.FlagSet) (k, size, threads *int, scheme *string) {
 	k = fs.Int("k", core.DefaultK, "shingle (k-mer) length")
 	size = fs.Int("size", core.DefaultSignatureSize, "minhash signature size (slots)")
 	threads = threadsFlag(fs)
+	scheme = fs.String("scheme", string(core.DefaultScheme),
+		"sketch scheme: oph (one-permutation, fast) or kmh (legacy k-minhash)")
 	return
+}
+
+// profileFlags adds the pprof output flags shared by the one-shot
+// subcommands (`serve` exposes net/http/pprof via -pprof-addr instead).
+func profileFlags(fs *flag.FlagSet) (cpu, mem *string) {
+	cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return
+}
+
+// withProfiles runs fn between starting a CPU profile and writing a
+// heap profile, when the respective paths are non-empty.
+func withProfiles(cpu, mem string, fn func() error) error {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if mem != "" {
+		f, err := os.Create(mem)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize final live-heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
 }
 
 // lshFlags adds the LSH banding / sharding flags shared by sketch and
@@ -141,12 +187,16 @@ func resolveLSH(bands, rows, shards, sigSize int) (core.LSHParams, int, error) {
 // with an existing index's stored parameters; the stored parameters
 // always win so an index is never silently re-parameterized.
 func warnIgnoredIndexFlags(cmd string, fs *flag.FlagSet, meta core.Metadata,
-	k, size, bands, rows, shards int, name string, stderr io.Writer) {
+	k, size int, scheme string, bands, rows, shards int, name string, stderr io.Writer) {
 	flagSet := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
 	if (flagSet["k"] && meta.K != k) || (flagSet["size"] && meta.SignatureSize != size) {
 		fmt.Fprintf(stderr, "engine: %s: existing index %q uses k=%d size=%d; ignoring -k/-size flags\n",
 			cmd, meta.Name, meta.K, meta.SignatureSize)
+	}
+	if flagSet["scheme"] && string(meta.Scheme) != scheme {
+		fmt.Fprintf(stderr, "engine: %s: existing index %q uses scheme=%s; ignoring -scheme %s\n",
+			cmd, meta.Name, meta.Scheme, scheme)
 	}
 	if (flagSet["bands"] && meta.Bands != bands) || (flagSet["rows"] && meta.RowsPerBand != rows) ||
 		(flagSet["shards"] && meta.Shards != shards) {
@@ -161,8 +211,9 @@ func warnIgnoredIndexFlags(cmd string, fs *flag.FlagSet, meta core.Metadata,
 
 func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("sketch", stderr)
-	k, size, threads := sketchFlags(fs)
+	k, size, threads, scheme := sketchFlags(fs)
 	bands, rows, shards := lshFlags(fs)
+	cpu, mem := profileFlags(fs)
 	out := fs.String("o", "index.json", "output index path (loaded first if it exists)")
 	name := fs.String("name", "default", "index name (new indexes only)")
 	if err := parseFlags(fs, argv); err != nil {
@@ -171,89 +222,104 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("sketch: no input files")
 	}
-
-	ix, err := loadOrCreateIndex(*out, *name, *k, *size, *bands, *rows, *shards)
+	// Validate the scheme up front so a typo fails loudly even when an
+	// existing index (whose stored scheme wins) is about to ignore it.
+	sch, err := core.ParseScheme(*scheme)
 	if err != nil {
 		return err
 	}
-	meta := ix.Metadata()
-	warnIgnoredIndexFlags("sketch", fs, meta, *k, *size, *bands, *rows, *shards, *name, stderr)
-	eng, err := core.NewEngineWithIndex(ix, *threads)
-	if err != nil {
-		return err
-	}
-
-	recs, err := readRecords(fs.Args())
-	if err != nil {
-		return err
-	}
-	// Skip already-indexed names before sketching so incremental runs
-	// don't pay the minhash cost for records that will be discarded.
-	skipped := 0
-	fresh := recs[:0]
-	for _, rec := range recs {
-		if ix.Get(rec.Name) != nil {
-			skipped++
-			fmt.Fprintf(stdout, "skip\t%s\t(already indexed)\n", rec.Name)
-			continue
+	return withProfiles(*cpu, *mem, func() error {
+		ix, err := loadOrCreateIndex(*out, *name, *k, *size, sch, *bands, *rows, *shards)
+		if err != nil {
+			return err
 		}
-		fresh = append(fresh, rec)
-	}
-	// Batched streaming ingest: sketching and shard inserts both fan
-	// out over the worker pool.
-	added, err := eng.AddBatch(fresh)
-	if err != nil {
-		return err
-	}
-	skipped += len(fresh) - added
-	if err := ix.SaveFile(*out); err != nil {
-		return err
-	}
-	meta = ix.Metadata()
-	fmt.Fprintf(stdout, "index\t%s\trecords=%d\tadded=%d\tskipped=%d\tk=%d\tsize=%d\n",
-		meta.Name, meta.RecordCount, added, skipped, meta.K, meta.SignatureSize)
-	return nil
+		meta := ix.Metadata()
+		warnIgnoredIndexFlags("sketch", fs, meta, *k, *size, *scheme, *bands, *rows, *shards, *name, stderr)
+		eng, err := core.NewEngineWithIndex(ix, *threads)
+		if err != nil {
+			return err
+		}
+
+		recs, err := readRecords(fs.Args())
+		if err != nil {
+			return err
+		}
+		// Skip already-indexed names before sketching so incremental runs
+		// don't pay the minhash cost for records that will be discarded.
+		skipped := 0
+		fresh := recs[:0]
+		for _, rec := range recs {
+			if ix.Get(rec.Name) != nil {
+				skipped++
+				fmt.Fprintf(stdout, "skip\t%s\t(already indexed)\n", rec.Name)
+				continue
+			}
+			fresh = append(fresh, rec)
+		}
+		// Batched streaming ingest: sketching and shard inserts both fan
+		// out over the worker pool.
+		added, err := eng.AddBatch(fresh)
+		if err != nil {
+			return err
+		}
+		skipped += len(fresh) - added
+		if err := ix.SaveFile(*out); err != nil {
+			return err
+		}
+		meta = ix.Metadata()
+		fmt.Fprintf(stdout, "index\t%s\trecords=%d\tadded=%d\tskipped=%d\tk=%d\tsize=%d\n",
+			meta.Name, meta.RecordCount, added, skipped, meta.K, meta.SignatureSize)
+		return nil
+	})
 }
 
 func cmdDist(argv []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("dist", stderr)
-	k, size, threads := sketchFlags(fs)
+	k, size, threads, scheme := sketchFlags(fs)
+	cpu, mem := profileFlags(fs)
 	if err := parseFlags(fs, argv); err != nil {
 		return err
 	}
 	if fs.NArg() < 2 {
 		return fmt.Errorf("dist: need at least two input files")
 	}
-	sketcher, err := core.NewSketcher(*k, *size)
+	sch, err := core.ParseScheme(*scheme)
 	if err != nil {
 		return err
 	}
-	recs, err := readRecords(fs.Args())
-	if err != nil {
-		return err
-	}
-	pool := core.NewPool(*threads)
-	sketches := make([]*core.Sketch, len(recs))
-	pool.Map(len(recs), func(i int) {
-		sketches[i] = sketcher.Sketch(recs[i])
+	return withProfiles(*cpu, *mem, func() error {
+		sketcher, err := core.NewSketcherScheme(*k, *size, sch)
+		if err != nil {
+			return err
+		}
+		recs, err := readRecords(fs.Args())
+		if err != nil {
+			return err
+		}
+		pool := core.NewPool(*threads)
+		sketches := make([]*core.Sketch, len(recs))
+		pool.Map(len(recs), func(i int) {
+			sketches[i] = sketcher.Sketch(recs[i])
+		})
+		results, err := core.PairwiseDistances(sketches, pool)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "a\tb\tsimilarity\tdistance")
+		for _, r := range results {
+			fmt.Fprintf(stdout, "%s\t%s\t%.4f\t%.4f\n", r.Query, r.Ref, r.Similarity, r.Distance)
+		}
+		return nil
 	})
-	results, err := core.PairwiseDistances(sketches, pool)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(stdout, "a\tb\tsimilarity\tdistance")
-	for _, r := range results {
-		fmt.Fprintf(stdout, "%s\t%s\t%.4f\t%.4f\n", r.Query, r.Ref, r.Similarity, r.Distance)
-	}
-	return nil
 }
 
 func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("search", stderr)
-	// No -k/-size here: queries are always sketched with the index's own
-	// parameters (see below).
+	// No -k/-size/-scheme here: queries are always sketched with the
+	// index's own parameters (see below).
 	threads := threadsFlag(fs)
 	bands, rows, shards := lshFlags(fs)
+	cpu, mem := profileFlags(fs)
 	db := fs.String("d", "", "index file to search (required)")
 	topK := fs.Int("top", 5, "maximum results per query")
 	minSim := fs.Float64("min", 0, "minimum similarity to report")
@@ -271,62 +337,65 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ix, err := core.LoadIndexFile(*db)
-	if err != nil {
-		return err
-	}
-	// Band postings are rebuilt from signatures at load time, so the
-	// banding scheme and shard count can be retuned per search run
-	// without re-sketching.
-	if *bands != 0 || *rows != 0 || *shards != 0 {
-		meta := ix.Metadata()
-		lsh := ix.LSHParams()
-		if *bands != 0 || *rows != 0 {
-			if lsh, err = core.NewLSHParams(*bands, *rows, meta.SignatureSize); err != nil {
-				return fmt.Errorf("search: %w", err)
-			}
-		}
-		n := meta.Shards
-		if *shards != 0 {
-			n = *shards
-		}
-		if err := ix.Rebucket(lsh, n); err != nil {
-			return fmt.Errorf("search: %w", err)
-		}
-	}
-	// The engine derives sketch parameters from the index metadata, so
-	// queries are always sketched compatibly.
-	eng, err := core.NewEngineWithIndex(ix, *threads)
-	if err != nil {
-		return err
-	}
-	eng.SetMode(mode)
-	recs, err := readRecords(fs.Args())
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(stdout, "query\tref\trank\tsimilarity\tdistance")
-	for _, rec := range recs {
-		results, err := eng.Search(rec, *topK, *minSim)
+	return withProfiles(*cpu, *mem, func() error {
+		ix, err := core.LoadIndexFile(*db)
 		if err != nil {
 			return err
 		}
-		for rank, r := range results {
-			fmt.Fprintf(stdout, "%s\t%s\t%d\t%.4f\t%.4f\n",
-				r.Query, r.Ref, rank+1, r.Similarity, r.Distance)
+		// Band postings are rebuilt from signatures at load time, so the
+		// banding scheme and shard count can be retuned per search run
+		// without re-sketching.
+		if *bands != 0 || *rows != 0 || *shards != 0 {
+			meta := ix.Metadata()
+			lsh := ix.LSHParams()
+			if *bands != 0 || *rows != 0 {
+				if lsh, err = core.NewLSHParams(*bands, *rows, meta.SignatureSize); err != nil {
+					return fmt.Errorf("search: %w", err)
+				}
+			}
+			n := meta.Shards
+			if *shards != 0 {
+				n = *shards
+			}
+			if err := ix.Rebucket(lsh, n); err != nil {
+				return fmt.Errorf("search: %w", err)
+			}
 		}
-	}
-	return nil
+		// The engine derives sketch parameters (including the scheme)
+		// from the index metadata, so queries are always sketched
+		// compatibly.
+		eng, err := core.NewEngineWithIndex(ix, *threads)
+		if err != nil {
+			return err
+		}
+		eng.SetMode(mode)
+		recs, err := readRecords(fs.Args())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "query\tref\trank\tsimilarity\tdistance")
+		for _, rec := range recs {
+			results, err := eng.Search(rec, *topK, *minSim)
+			if err != nil {
+				return err
+			}
+			for rank, r := range results {
+				fmt.Fprintf(stdout, "%s\t%s\t%d\t%.4f\t%.4f\n",
+					r.Query, r.Ref, rank+1, r.Similarity, r.Distance)
+			}
+		}
+		return nil
+	})
 }
 
-func loadOrCreateIndex(path, name string, k, size, bands, rows, shards int) (*core.Index, error) {
+func loadOrCreateIndex(path, name string, k, size int, scheme core.Scheme, bands, rows, shards int) (*core.Index, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		lsh, n, err := resolveLSH(bands, rows, shards, size)
 		if err != nil {
 			return nil, err
 		}
-		return core.NewIndexWith(name, k, size, lsh, n)
+		return core.NewIndexWith(name, k, size, scheme, lsh, n)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)

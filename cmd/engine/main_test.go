@@ -20,24 +20,28 @@ func runCLI(t *testing.T, args ...string) (string, string, int) {
 
 func testdata(name string) string { return filepath.Join("testdata", name) }
 
-// TestCLIGolden drives the full sketch -> search -> dist pipeline over
+// goldenPipeline drives the full sketch -> search -> dist pipeline over
 // committed testdata and compares output against a golden file. Sketch
-// hashing is deterministic, so the output is byte-stable.
-func TestCLIGolden(t *testing.T) {
+// hashing is deterministic, so the output is byte-stable. schemeArgs is
+// appended to the subcommands that sketch from scratch (sketch, dist);
+// search always derives the scheme from the index.
+func goldenPipeline(t *testing.T, goldenFile string, schemeArgs ...string) {
+	t.Helper()
 	dir := t.TempDir()
 	index := filepath.Join(dir, "index.json")
 
 	var out strings.Builder
 
-	stdout, stderr, code := runCLI(t, "sketch", "-o", index, "-name", "golden",
-		testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt"))
+	stdout, stderr, code := runCLI(t, append([]string{"sketch", "-o", index, "-name", "golden"},
+		append(schemeArgs, testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt"))...)...)
 	if code != 0 {
 		t.Fatalf("sketch failed (%d): %s", code, stderr)
 	}
 	out.WriteString("== sketch ==\n" + stdout)
 
 	// Re-sketching one file must skip it, leaving the index unchanged.
-	stdout, stderr, code = runCLI(t, "sketch", "-o", index, testdata("alpha.txt"))
+	stdout, stderr, code = runCLI(t, append([]string{"sketch", "-o", index},
+		append(schemeArgs, testdata("alpha.txt"))...)...)
 	if code != 0 {
 		t.Fatalf("incremental sketch failed (%d): %s", code, stderr)
 	}
@@ -50,14 +54,14 @@ func TestCLIGolden(t *testing.T) {
 	}
 	out.WriteString("== search ==\n" + stdout)
 
-	stdout, stderr, code = runCLI(t, "dist", "-threads", "2",
-		testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt"))
+	stdout, stderr, code = runCLI(t, append([]string{"dist", "-threads", "2"},
+		append(schemeArgs, testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt"))...)...)
 	if code != 0 {
 		t.Fatalf("dist failed (%d): %s", code, stderr)
 	}
 	out.WriteString("== dist ==\n" + stdout)
 
-	golden := testdata("cli_golden.txt")
+	golden := testdata(goldenFile)
 	if *updateGolden {
 		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
 			t.Fatal(err)
@@ -70,6 +74,19 @@ func TestCLIGolden(t *testing.T) {
 	if out.String() != string(want) {
 		t.Errorf("CLI output differs from golden file.\n--- got ---\n%s--- want ---\n%s", out.String(), want)
 	}
+}
+
+// TestCLIGolden pins the pipeline output under the default (OPH) scheme.
+func TestCLIGolden(t *testing.T) {
+	goldenPipeline(t, "cli_golden.txt")
+}
+
+// TestCLIGoldenKMH pins the legacy scheme: cli_golden_kmh.txt is the
+// byte-for-byte pre-OPH golden file, so `-scheme kmh` proving identical
+// output means the legacy path still produces exactly what it did
+// before the scheme switch.
+func TestCLIGoldenKMH(t *testing.T) {
+	goldenPipeline(t, "cli_golden_kmh.txt", "-scheme", "kmh")
 }
 
 func TestCLIThreadsFlag(t *testing.T) {
@@ -147,6 +164,76 @@ func TestCLILSHFlags(t *testing.T) {
 	}
 }
 
+// TestCLISchemeFlag drives -scheme end to end: a kmh index keeps
+// serving kmh queries, conflicting flags on an existing index warn and
+// are ignored, and bad scheme values are rejected.
+func TestCLISchemeFlag(t *testing.T) {
+	dir := t.TempDir()
+	index := filepath.Join(dir, "index.json")
+	if _, stderr, code := runCLI(t, "sketch", "-o", index, "-scheme", "kmh",
+		testdata("alpha.txt"), testdata("beta.txt")); code != 0 {
+		t.Fatalf("sketch -scheme kmh failed (%d): %s", code, stderr)
+	}
+	// Search derives the scheme from the index; it must hit.
+	stdout, stderr, code := runCLI(t, "search", "-d", index, "-top", "1", testdata("beta.txt"))
+	if code != 0 {
+		t.Fatalf("search on kmh index failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "alpha.txt") {
+		t.Fatalf("search on kmh index found no neighbor:\n%s", stdout)
+	}
+	// Re-sketching with a conflicting -scheme warns and keeps kmh.
+	_, stderr, code = runCLI(t, "sketch", "-o", index, "-scheme", "oph", testdata("gamma.txt"))
+	if code != 0 {
+		t.Fatalf("re-sketch failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "ignoring -scheme") {
+		t.Fatalf("want conflicting-scheme warning, got: %q", stderr)
+	}
+	// Unknown schemes are rejected up front — including against an
+	// existing index, where the stored scheme would otherwise make the
+	// flag a silently-ignored typo.
+	if _, stderr, code := runCLI(t, "sketch", "-o", filepath.Join(dir, "bad.json"),
+		"-scheme", "simhash", testdata("alpha.txt")); code == 0 || !strings.Contains(stderr, "unknown scheme") {
+		t.Fatalf("sketch -scheme simhash: code=%d stderr=%q, want unknown-scheme error", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, "sketch", "-o", index,
+		"-scheme", "simhash", testdata("alpha.txt")); code == 0 || !strings.Contains(stderr, "unknown scheme") {
+		t.Fatalf("sketch -scheme simhash on existing index: code=%d stderr=%q, want unknown-scheme error", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, "serve", "-addr", "127.0.0.1:0", "-d", index,
+		"-scheme", "simhash"); code == 0 || !strings.Contains(stderr, "unknown scheme") {
+		t.Fatalf("serve -scheme simhash: code=%d stderr=%q, want unknown-scheme error", code, stderr)
+	}
+}
+
+// TestCLIProfileFlags: -cpuprofile/-memprofile must leave non-empty
+// pprof files behind on a successful run.
+func TestCLIProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	_, stderr, code := runCLI(t, "dist", "-cpuprofile", cpu, "-memprofile", mem,
+		testdata("alpha.txt"), testdata("beta.txt"))
+	if code != 0 {
+		t.Fatalf("dist with profiles failed (%d): %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// An unwritable profile path fails up front, not silently.
+	if _, _, code := runCLI(t, "dist", "-cpuprofile", filepath.Join(dir, "missing", "cpu.pprof"),
+		testdata("alpha.txt"), testdata("beta.txt")); code == 0 {
+		t.Fatal("unwritable -cpuprofile path: want nonzero exit")
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -162,6 +249,7 @@ func TestCLIErrors(t *testing.T) {
 		{"missing input", []string{"dist", "testdata/does-not-exist.txt", testdata("alpha.txt")}},
 		{"search bad mode", []string{"search", "-d", testdata("alpha.txt"), "-mode", "fuzzy", testdata("beta.txt")}},
 		{"sketch bad banding", []string{"sketch", "-o", "/tmp/nope-lsh.json", "-bands", "3", "-rows", "3", testdata("alpha.txt")}},
+		{"dist bad scheme", []string{"dist", "-scheme", "bogus", testdata("alpha.txt"), testdata("beta.txt")}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,9 +23,11 @@ var serveBaseContext = context.Background
 
 func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("serve", stderr)
-	k, size, threads := sketchFlags(fs)
+	k, size, threads, scheme := sketchFlags(fs)
 	bands, rows, shards := lshFlags(fs)
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	pprofAddr := fs.String("pprof-addr", "",
+		"listen address for net/http/pprof (e.g. 127.0.0.1:6060; empty disables)")
 	db := fs.String("d", "index.json", "index file: loaded if present, created otherwise, and the snapshot destination")
 	name := fs.String("name", "default", "index name (new indexes only)")
 	modeFlag := fs.String("mode", "lsh", "default search mode: lsh or exact (requests may override)")
@@ -42,17 +47,31 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ix, err := loadOrCreateIndex(*db, *name, *k, *size, *bands, *rows, *shards)
+	// Validate the scheme up front so a typo fails loudly even when an
+	// existing index (whose stored scheme wins) is about to ignore it.
+	sch, err := core.ParseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	ix, err := loadOrCreateIndex(*db, *name, *k, *size, sch, *bands, *rows, *shards)
 	if err != nil {
 		return err
 	}
 	meta := ix.Metadata()
-	warnIgnoredIndexFlags("serve", fs, meta, *k, *size, *bands, *rows, *shards, *name, stderr)
+	warnIgnoredIndexFlags("serve", fs, meta, *k, *size, *scheme, *bands, *rows, *shards, *name, stderr)
 	eng, err := core.NewEngineWithIndex(ix, *threads)
 	if err != nil {
 		return err
 	}
 	eng.SetMode(mode)
+	if *pprofAddr != "" {
+		stop, bound, err := servePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(stdout, "pprof\taddr=%s\n", bound)
+	}
 	srv, err := server.New(eng, server.Config{
 		Addr:          *addr,
 		IndexPath:     *db,
@@ -78,4 +97,27 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(serveBaseContext(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return srv.Serve(ctx)
+}
+
+// servePprof mounts the net/http/pprof handlers on their own listener,
+// kept off the service mux so profiling endpoints are never reachable
+// through the public address. It returns a stop function and the bound
+// address (useful with port 0).
+func servePprof(addr string) (stop func(), bound net.Addr, err error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pprof: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	go func() {
+		// Serve exits with an "use of closed connection" error when the
+		// stop closure closes the listener; nothing to report.
+		_ = http.Serve(lis, mux) //nolint:gosec // profiling side channel, bounded by -pprof-addr choice
+	}()
+	return func() { lis.Close() }, lis.Addr(), nil
 }

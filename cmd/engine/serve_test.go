@@ -35,7 +35,10 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-var servingAddr = regexp.MustCompile(`serving\taddr=([^\t\n]+)`)
+var (
+	servingAddr = regexp.MustCompile(`serving\taddr=([^\t\n]+)`)
+	pprofAddr   = regexp.MustCompile(`pprof\taddr=([^\t\n]+)`)
+)
 
 // TestCLIServe drives the serve subcommand end to end: start on a free
 // port, ingest over HTTP, search for a hit, stop via the (test-hooked)
@@ -53,20 +56,39 @@ func TestCLIServe(t *testing.T) {
 	var stdout, stderr syncBuffer
 	done := make(chan int, 1)
 	go func() {
-		done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-d", index, "-snapshot-every", "50ms"},
+		done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-d", index, "-snapshot-every", "50ms",
+			"-pprof-addr", "127.0.0.1:0"},
 			&stdout, &stderr)
 	}()
 
-	var base string
+	var base, pprofBase string
 	for deadline := time.Now().Add(10 * time.Second); ; {
 		if m := servingAddr.FindStringSubmatch(stdout.String()); m != nil {
 			base = "http://" + m[1]
+			if p := pprofAddr.FindStringSubmatch(stdout.String()); p != nil {
+				pprofBase = "http://" + p[1]
+			}
 			break
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("serve never reported its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+	if pprofBase == "" {
+		t.Fatalf("serve never reported its pprof address; stdout=%q", stdout.String())
+	}
+
+	// The pprof side listener must answer on its own port, keeping
+	// profiling off the public mux.
+	resp0, err := http.Get(pprofBase + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp0.Body)
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d", resp0.StatusCode)
 	}
 
 	body := `{"records": [

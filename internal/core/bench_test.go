@@ -17,10 +17,12 @@ func benchData(n int, seed int64) []byte {
 	return data
 }
 
-func BenchmarkSketch(b *testing.B) {
+// benchSketchScheme runs the sketch throughput benchmark for one
+// scheme across payload sizes.
+func benchSketchScheme(b *testing.B, scheme Scheme) {
 	for _, size := range []int{1 << 10, 16 << 10, 256 << 10} {
 		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
-			s, err := NewSketcher(DefaultK, DefaultSignatureSize)
+			s, err := NewSketcherScheme(DefaultK, DefaultSignatureSize, scheme)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -33,6 +35,15 @@ func BenchmarkSketch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSketch measures the default (OPH) scheme; the name is kept
+// stable so BENCH_baseline.json comparisons track the default path
+// across the scheme switch.
+func BenchmarkSketch(b *testing.B) { benchSketchScheme(b, SchemeOPH) }
+
+// BenchmarkSketchKMH pins the legacy k-minhash path, which pays the
+// per-slot inner loop for every shingle.
+func BenchmarkSketchKMH(b *testing.B) { benchSketchScheme(b, SchemeKMH) }
 
 func BenchmarkSimilarity(b *testing.B) {
 	s, err := NewSketcher(DefaultK, DefaultSignatureSize)

@@ -22,16 +22,20 @@ import (
 
 // Version identifies the engine build. It is reported by the CLI and
 // stamped into saved index metadata.
-const Version = "0.3.0"
+const Version = "0.4.0"
 
 // Options configures an Engine. Zero values fall back to the package
-// defaults (DefaultK, DefaultSignatureSize, GOMAXPROCS workers,
-// DefaultLSHParams banding, DefaultShards stripes, LSH search mode).
+// defaults (DefaultK, DefaultSignatureSize, DefaultScheme sketching,
+// GOMAXPROCS workers, DefaultLSHParams banding, DefaultShards stripes,
+// LSH search mode).
 type Options struct {
 	// K is the shingle (k-mer) length used when sketching records.
 	K int
 	// SignatureSize is the number of minhash slots per signature.
 	SignatureSize int
+	// Scheme selects the sketching scheme; empty means DefaultScheme
+	// (OPH). Use SchemeKMH for compatibility with pre-v3 indexes.
+	Scheme Scheme
 	// Threads bounds the worker pool; <= 0 means GOMAXPROCS.
 	Threads int
 	// IndexName names the index created by the engine.
@@ -66,6 +70,10 @@ func NewEngine(opts Options) (*Engine, error) {
 	if opts.SignatureSize == 0 {
 		opts.SignatureSize = DefaultSignatureSize
 	}
+	scheme, err := ParseScheme(string(opts.Scheme)) // empty selects DefaultScheme
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	if opts.IndexName == "" {
 		opts.IndexName = "default"
 	}
@@ -74,7 +82,6 @@ func NewEngine(opts Options) (*Engine, error) {
 	}
 	lsh := DefaultLSHParams(opts.SignatureSize)
 	if opts.Bands != 0 || opts.RowsPerBand != 0 {
-		var err error
 		if lsh, err = NewLSHParams(opts.Bands, opts.RowsPerBand, opts.SignatureSize); err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
@@ -83,11 +90,11 @@ func NewEngine(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	sk, err := NewSketcher(opts.K, opts.SignatureSize)
+	sk, err := NewSketcherScheme(opts.K, opts.SignatureSize, scheme)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	ix, err := NewIndexWith(opts.IndexName, opts.K, opts.SignatureSize, lsh, opts.Shards)
+	ix, err := NewIndexWith(opts.IndexName, opts.K, opts.SignatureSize, scheme, lsh, opts.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -100,12 +107,13 @@ func NewEngine(opts Options) (*Engine, error) {
 }
 
 // NewEngineWithIndex wraps an existing index (e.g. one returned by
-// LoadIndex), deriving the sketcher parameters from the index metadata
-// so queries are always sketched compatibly. The engine starts in LSH
-// search mode; use SetMode to change it.
+// LoadIndex), deriving the sketcher parameters — including the sketch
+// scheme — from the index metadata so queries are always sketched
+// compatibly. The engine starts in LSH search mode; use SetMode to
+// change it.
 func NewEngineWithIndex(ix *Index, threads int) (*Engine, error) {
 	meta := ix.Metadata()
-	sk, err := NewSketcher(meta.K, meta.SignatureSize)
+	sk, err := NewSketcherScheme(meta.K, meta.SignatureSize, meta.Scheme)
 	if err != nil {
 		return nil, fmt.Errorf("engine: index %q: %w", meta.Name, err)
 	}
@@ -202,6 +210,7 @@ type Stats struct {
 	Records        int        `json:"records"`
 	K              int        `json:"k"`
 	SignatureSize  int        `json:"signature_size"`
+	Scheme         Scheme     `json:"scheme"`
 	Bands          int        `json:"bands"`
 	RowsPerBand    int        `json:"rows_per_band"`
 	LSHThreshold   float64    `json:"lsh_threshold"`
@@ -225,6 +234,7 @@ func (e *Engine) Stats() Stats {
 		Records:        meta.RecordCount,
 		K:              meta.K,
 		SignatureSize:  meta.SignatureSize,
+		Scheme:         normScheme(meta.Scheme),
 		Bands:          lsh.Bands,
 		RowsPerBand:    lsh.RowsPerBand,
 		LSHThreshold:   lsh.Threshold(),

@@ -6,24 +6,28 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"time"
 )
 
 // Index file format versions. V1 files (PR 1) carry no format field and
-// no LSH/shard parameters; they load with defaults applied. Save always
-// writes the current format.
+// no LSH/shard parameters; they load with defaults applied. V2 files
+// predate sketch schemes; v1 and v2 both load as the legacy KMH scheme.
+// V3 records the scheme in the metadata. Save always writes the current
+// format.
 const (
 	FormatV1      = 1
 	FormatV2      = 2
-	CurrentFormat = FormatV2
+	FormatV3      = 3
+	CurrentFormat = FormatV3
 )
 
 // Metadata describes an index; it is embedded in the JSON serialization
 // and kept current as records are added. Format, Bands, RowsPerBand and
-// Shards are new in format v2; they are omitted from (and defaulted
-// when loading) v1 files.
+// Shards are new in format v2, Scheme in v3; absent fields are
+// defaulted when loading older files (pre-v3 indexes are always KMH).
 type Metadata struct {
 	Name          string    `json:"name"`
 	Version       string    `json:"version"`
@@ -33,6 +37,7 @@ type Metadata struct {
 	RecordCount   int       `json:"record_count"`
 	K             int       `json:"k"`
 	SignatureSize int       `json:"signature_size"`
+	Scheme        Scheme    `json:"scheme,omitempty"`
 	Bands         int       `json:"bands,omitempty"`
 	RowsPerBand   int       `json:"rows_per_band,omitempty"`
 	Shards        int       `json:"shards,omitempty"`
@@ -55,10 +60,10 @@ type Index struct {
 }
 
 // NewIndex returns an empty index accepting sketches with the given
-// shingle length and signature size, using the default banding scheme
-// and shard count. Use NewIndexWith to configure those.
+// shingle length and signature size, using the default sketch scheme,
+// banding scheme, and shard count. Use NewIndexWith to configure those.
 func NewIndex(name string, k, sigSize int) *Index {
-	if ix, err := NewIndexWith(name, k, sigSize, DefaultLSHParams(sigSize), DefaultShards); err == nil {
+	if ix, err := NewIndexWith(name, k, sigSize, DefaultScheme, DefaultLSHParams(sigSize), DefaultShards); err == nil {
 		return ix
 	}
 	// Non-positive sigSize: keep the old never-fail contract with a
@@ -75,6 +80,7 @@ func NewIndex(name string, k, sigSize int) *Index {
 			UpdatedAt:     now,
 			K:             k,
 			SignatureSize: sigSize,
+			Scheme:        DefaultScheme,
 			Bands:         lsh.Bands,
 			RowsPerBand:   lsh.RowsPerBand,
 			Shards:        DefaultShards,
@@ -84,9 +90,14 @@ func NewIndex(name string, k, sigSize int) *Index {
 	}
 }
 
-// NewIndexWith returns an empty index with an explicit LSH banding
-// scheme and shard count.
-func NewIndexWith(name string, k, sigSize int, lsh LSHParams, shards int) (*Index, error) {
+// NewIndexWith returns an empty index with an explicit sketch scheme,
+// LSH banding scheme, and shard count. The empty scheme means legacy
+// KMH, matching pre-v3 metadata.
+func NewIndexWith(name string, k, sigSize int, scheme Scheme, lsh LSHParams, shards int) (*Index, error) {
+	scheme = normScheme(scheme)
+	if scheme != SchemeOPH && scheme != SchemeKMH {
+		return nil, fmt.Errorf("index %q: unknown scheme %q", name, scheme)
+	}
 	if _, err := NewLSHParams(lsh.Bands, lsh.RowsPerBand, sigSize); err != nil {
 		return nil, fmt.Errorf("index %q: %w", name, err)
 	}
@@ -103,6 +114,7 @@ func NewIndexWith(name string, k, sigSize int, lsh LSHParams, shards int) (*Inde
 			UpdatedAt:     now,
 			K:             k,
 			SignatureSize: sigSize,
+			Scheme:        scheme,
 			Bands:         lsh.Bands,
 			RowsPerBand:   lsh.RowsPerBand,
 			Shards:        shards,
@@ -118,6 +130,10 @@ func NewIndexWith(name string, k, sigSize int, lsh LSHParams, shards int) (*Inde
 func (ix *Index) Add(s *Sketch) (bool, error) {
 	if s.Name == "" {
 		return false, fmt.Errorf("index: sketch has empty name")
+	}
+	if got, want := normScheme(s.Scheme), normScheme(ix.meta.Scheme); got != want {
+		return false, fmt.Errorf("index %q: sketch scheme %q does not match index scheme %q",
+			ix.meta.Name, got, want)
 	}
 	if s.K != ix.meta.K {
 		return false, fmt.Errorf("index %q: sketch k %d does not match index k %d",
@@ -213,35 +229,48 @@ func (ix *Index) ShardCount() int {
 	return len(ix.shards)
 }
 
-// snapshot returns the sketches in insertion order without copying the
-// sketches themselves (they are immutable once added).
-func (ix *Index) snapshot() []*Sketch {
+// appendAll appends every indexed sketch to buf and returns it, without
+// copying the sketches themselves (they are immutable once added).
+// Order is unspecified — shard map iteration — which is fine for the
+// search paths because scored results are sorted with deterministic tie
+// breaks. Reusing buf across calls keeps steady-state search
+// allocation-free.
+func (ix *Index) appendAll(buf []*Sketch) []*Sketch {
 	ix.mu.RLock()
-	names := make([]string, len(ix.order))
-	copy(names, ix.order)
 	shards := ix.shards
 	ix.mu.RUnlock()
-	out := make([]*Sketch, 0, len(names))
-	for _, n := range names {
-		if s := shards[shardFor(n, len(shards))].get(n); s != nil {
-			out = append(out, s)
-		}
+	for _, sh := range shards {
+		buf = sh.appendAll(buf)
 	}
-	return out
+	return buf
 }
 
-// lshCandidates returns the sketches sharing at least one LSH band
-// bucket with sig, gathered across all shards. Order is unspecified;
-// callers sort scored results.
-func (ix *Index) lshCandidates(sig []uint64) []*Sketch {
+// appendAllExcept appends every indexed sketch whose name is not in
+// skip. It is the LSH fallback's complement pass: score only what the
+// candidate probe missed.
+func (ix *Index) appendAllExcept(skip map[string]struct{}, buf []*Sketch) []*Sketch {
 	ix.mu.RLock()
 	shards := ix.shards
 	ix.mu.RUnlock()
-	var out []*Sketch
 	for _, sh := range shards {
-		out = append(out, sh.candidates(sig)...)
+		buf = sh.appendAllExcept(skip, buf)
 	}
-	return out
+	return buf
+}
+
+// appendLSHCandidates appends the sketches sharing at least one LSH
+// band bucket with sig, gathered across all shards. seen receives every
+// appended name (names are unique across shards, so one map dedups
+// globally); callers clear and reuse it across queries. Order is
+// unspecified; callers sort scored results.
+func (ix *Index) appendLSHCandidates(sig []uint64, seen map[string]struct{}, buf []*Sketch) []*Sketch {
+	ix.mu.RLock()
+	shards := ix.shards
+	ix.mu.RUnlock()
+	for _, sh := range shards {
+		buf = sh.appendCandidates(sig, seen, buf)
+	}
+	return buf
 }
 
 // Rebucket rebuilds the shard stripes and LSH band postings in place
@@ -333,7 +362,10 @@ func (ix *Index) SaveFile(path string) (err error) {
 
 // LoadIndex reads an index previously written by Save. Format v1 files
 // (no format field) load with the default banding scheme and shard
-// count; files written by a newer engine are rejected.
+// count; v1 and v2 files predate sketch schemes and load as legacy KMH;
+// files written by a newer engine are rejected. Every loaded sketch is
+// stamped with the index scheme, so mixed-scheme comparisons fail even
+// on sketches pulled out of the index directly.
 func LoadIndex(r io.Reader) (*Index, error) {
 	var f indexFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
@@ -346,18 +378,29 @@ func LoadIndex(r io.Reader) (*Index, error) {
 	var (
 		lsh    LSHParams
 		shards int
+		scheme Scheme
 		err    error
 	)
 	switch f.Meta.Format {
 	case 0, FormatV1: // v1 files predate the format field
 		lsh = DefaultLSHParams(f.Meta.SignatureSize)
 		shards = DefaultShards
-	case FormatV2:
+		scheme = SchemeKMH
+	case FormatV2, FormatV3:
 		if lsh, err = NewLSHParams(f.Meta.Bands, f.Meta.RowsPerBand, f.Meta.SignatureSize); err != nil {
 			return nil, fmt.Errorf("index: invalid metadata: %w", err)
 		}
 		if shards = f.Meta.Shards; shards <= 0 {
 			return nil, fmt.Errorf("index: invalid metadata: shards=%d", shards)
+		}
+		if f.Meta.Format == FormatV2 {
+			scheme = SchemeKMH // v2 predates schemes; always k-minhash
+			break
+		}
+		switch scheme = normScheme(f.Meta.Scheme); scheme {
+		case SchemeOPH, SchemeKMH:
+		default:
+			return nil, fmt.Errorf("index: invalid metadata: unknown scheme %q", f.Meta.Scheme)
 		}
 	default:
 		return nil, fmt.Errorf("index: format %d is newer than this engine supports (max %d)",
@@ -365,6 +408,7 @@ func LoadIndex(r io.Reader) (*Index, error) {
 	}
 	meta := f.Meta
 	meta.Format = CurrentFormat
+	meta.Scheme = scheme
 	meta.Bands = lsh.Bands
 	meta.RowsPerBand = lsh.RowsPerBand
 	meta.Shards = shards
@@ -384,6 +428,7 @@ func LoadIndex(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("index: sketch %q signature size %d does not match metadata %d",
 				s.Name, len(s.Signature), f.Meta.SignatureSize)
 		}
+		s.Scheme = scheme
 		if !ix.shards[shardFor(s.Name, shards)].add(s) {
 			return nil, fmt.Errorf("index: duplicate sketch name %q", s.Name)
 		}
@@ -403,16 +448,21 @@ func LoadIndexFile(path string) (*Index, error) {
 	return LoadIndex(f)
 }
 
-// sortResults orders by descending similarity, breaking ties by ref
-// name so output is deterministic.
+// sortResults orders by descending similarity, breaking ties by query
+// then ref name so output is deterministic. slices.SortFunc rather than
+// sort.Slice: the generic sort allocates nothing, keeping the pooled
+// query path allocation-free.
 func sortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Similarity != rs[j].Similarity {
-			return rs[i].Similarity > rs[j].Similarity
+	slices.SortFunc(rs, func(a, b Result) int {
+		switch {
+		case a.Similarity > b.Similarity:
+			return -1
+		case a.Similarity < b.Similarity:
+			return 1
 		}
-		if rs[i].Query != rs[j].Query {
-			return rs[i].Query < rs[j].Query
+		if c := strings.Compare(a.Query, b.Query); c != 0 {
+			return c
 		}
-		return rs[i].Ref < rs[j].Ref
+		return strings.Compare(a.Ref, b.Ref)
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -112,8 +113,9 @@ func TestIndexSaveLoadRoundTrip(t *testing.T) {
 }
 
 // TestLoadV1IndexRoundTrip loads a format-v1 file (written before the
-// format field, LSH parameters, and sharding existed), checks that
-// defaults are applied, and round-trips it through Save into a v2 file.
+// format field, LSH parameters, sharding, and sketch schemes existed),
+// checks that defaults are applied — including the legacy KMH scheme —
+// and round-trips it through Save into a current-format file.
 func TestLoadV1IndexRoundTrip(t *testing.T) {
 	const v1 = `{"meta":{"name":"legacy","version":"0.1.0","created_at":"2026-01-02T03:04:05Z","updated_at":"2026-01-02T03:04:05Z","record_count":2,"k":4,"signature_size":8},"sketches":[{"name":"a","k":4,"shingles":3,"signature":[1,2,3,4,5,6,7,8]},{"name":"b","k":4,"shingles":3,"signature":[1,2,3,4,9,9,9,9]}]}`
 	ix, err := LoadIndex(bytes.NewReader([]byte(v1)))
@@ -128,8 +130,14 @@ func TestLoadV1IndexRoundTrip(t *testing.T) {
 	if meta.Bands != def.Bands || meta.RowsPerBand != def.RowsPerBand || meta.Shards != DefaultShards {
 		t.Fatalf("v1 defaults not applied: %+v", meta)
 	}
+	if meta.Scheme != SchemeKMH {
+		t.Fatalf("v1 scheme = %q, want %q", meta.Scheme, SchemeKMH)
+	}
 	if ix.Len() != 2 || ix.Get("a") == nil || ix.Get("b") == nil {
 		t.Fatalf("v1 records not loaded: len=%d", ix.Len())
+	}
+	if ix.Get("a").Scheme != SchemeKMH {
+		t.Fatalf("loaded sketch scheme = %q, want %q stamped from metadata", ix.Get("a").Scheme, SchemeKMH)
 	}
 	// LSH structures must be live after a v1 load: "a" and "b" share
 	// their first band (rows 1,2,3,4), so each is a candidate of the
@@ -142,20 +150,55 @@ func TestLoadV1IndexRoundTrip(t *testing.T) {
 	if err := ix.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(buf.Bytes(), []byte(`"format":2`)) {
-		t.Fatalf("re-saved v1 index is not format 2: %s", buf.String())
+	if !bytes.Contains(buf.Bytes(), []byte(`"format":3`)) ||
+		!bytes.Contains(buf.Bytes(), []byte(`"scheme":"kmh"`)) {
+		t.Fatalf("re-saved v1 index is not format 3 with an explicit scheme: %s", buf.String())
 	}
 	got, err := LoadIndex(&buf)
 	if err != nil {
-		t.Fatalf("reload v2: %v", err)
+		t.Fatalf("reload v3: %v", err)
 	}
 	gotMeta := got.Metadata()
-	if gotMeta.Format != CurrentFormat || gotMeta.Bands != def.Bands ||
+	if gotMeta.Format != CurrentFormat || gotMeta.Scheme != SchemeKMH || gotMeta.Bands != def.Bands ||
 		gotMeta.RowsPerBand != def.RowsPerBand || gotMeta.Shards != DefaultShards {
-		t.Fatalf("v2 round trip metadata = %+v", gotMeta)
+		t.Fatalf("v3 round trip metadata = %+v", gotMeta)
 	}
 	if !gotMeta.CreatedAt.Equal(meta.CreatedAt) || got.Len() != 2 {
-		t.Fatalf("v2 round trip lost data: %+v len=%d", gotMeta, got.Len())
+		t.Fatalf("v3 round trip lost data: %+v len=%d", gotMeta, got.Len())
+	}
+}
+
+// TestLoadV2IndexAsKMH: v2 files predate schemes and were always
+// k-minhash; they must load with the KMH scheme so an engine wrapped
+// around them keeps sketching queries compatibly, and reject sketches
+// from the new default scheme.
+func TestLoadV2IndexAsKMH(t *testing.T) {
+	const v2 = `{"meta":{"name":"v2db","version":"0.2.0","format":2,"created_at":"2026-01-02T03:04:05Z","updated_at":"2026-01-02T03:04:05Z","record_count":1,"k":4,"signature_size":8,"bands":2,"rows_per_band":4,"shards":4},"sketches":[{"name":"a","k":4,"shingles":3,"signature":[1,2,3,4,5,6,7,8]}]}`
+	ix, err := LoadIndex(bytes.NewReader([]byte(v2)))
+	if err != nil {
+		t.Fatalf("load v2: %v", err)
+	}
+	if got := ix.Metadata().Scheme; got != SchemeKMH {
+		t.Fatalf("v2 scheme = %q, want %q", got, SchemeKMH)
+	}
+	// An engine wrapping the loaded index must sketch queries as KMH.
+	eng, err := NewEngineWithIndex(ix, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Sketcher().Scheme(); got != SchemeKMH {
+		t.Fatalf("derived sketcher scheme = %q, want %q", got, SchemeKMH)
+	}
+	if _, err := eng.Search(Record{Name: "q", Data: []byte("some query payload")}, 3, 0); err != nil {
+		t.Fatalf("search on loaded v2 index: %v", err)
+	}
+	// A default-scheme (OPH) sketch must be rejected, not silently mixed.
+	oph := mustSketcher(t, 4, 8).Sketch(Record{Name: "new", Data: []byte("fresh record payload")})
+	if _, err := ix.Add(oph); err == nil || !strings.Contains(err.Error(), "scheme") {
+		t.Fatalf("adding an OPH sketch to a KMH index: err = %v, want scheme mismatch", err)
+	}
+	if _, err := SearchTopK(ix, oph, 3, 0, nil); err == nil || !strings.Contains(err.Error(), "scheme") {
+		t.Fatalf("searching a KMH index with an OPH query: err = %v, want scheme mismatch", err)
 	}
 }
 
@@ -164,6 +207,7 @@ func TestLoadIndexRejectsBadFormats(t *testing.T) {
 		"future format": `{"meta":{"name":"x","format":99,"k":4,"signature_size":2},"sketches":[]}`,
 		"v2 bad bands":  `{"meta":{"name":"x","format":2,"k":4,"signature_size":2,"bands":3,"rows_per_band":3,"shards":4},"sketches":[]}`,
 		"v2 no shards":  `{"meta":{"name":"x","format":2,"k":4,"signature_size":2,"bands":1,"rows_per_band":2},"sketches":[]}`,
+		"v3 bad scheme": `{"meta":{"name":"x","format":3,"k":4,"signature_size":2,"scheme":"simhash","bands":1,"rows_per_band":2,"shards":4},"sketches":[]}`,
 	} {
 		if _, err := LoadIndex(bytes.NewReader([]byte(payload))); err == nil {
 			t.Errorf("%s: want error, got nil", name)

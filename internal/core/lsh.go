@@ -75,20 +75,11 @@ func newBandIndex(p LSHParams) *bandIndex {
 	return b
 }
 
-// add inserts name into the bucket of every band of sig.
+// add inserts name into the bucket of every band of sig. The probe
+// side lives in shard.appendCandidates, which walks the same buckets.
 func (bi *bandIndex) add(name string, sig []uint64) {
 	for band := 0; band < bi.params.Bands; band++ {
 		key := bi.params.bandKey(band, sig)
 		bi.buckets[band][key] = append(bi.buckets[band][key], name)
-	}
-}
-
-// collect adds to seen every record name sharing at least one band
-// bucket with sig.
-func (bi *bandIndex) collect(sig []uint64, seen map[string]struct{}) {
-	for band := 0; band < bi.params.Bands; band++ {
-		for _, name := range bi.buckets[band][bi.params.bandKey(band, sig)] {
-			seen[name] = struct{}{}
-		}
 	}
 }

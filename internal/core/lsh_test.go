@@ -102,26 +102,36 @@ func TestBandKeyDependsOnBandAndRows(t *testing.T) {
 	}
 }
 
-func TestBandIndexCollect(t *testing.T) {
+func TestShardAppendCandidates(t *testing.T) {
 	p := LSHParams{Bands: 2, RowsPerBand: 2}
-	bi := newBandIndex(p)
+	sh := newShard(p)
 	a := []uint64{1, 2, 3, 4}
 	b := []uint64{1, 2, 9, 9} // shares band 0 with a
 	c := []uint64{7, 7, 7, 7} // shares nothing
-	bi.add("a", a)
-	bi.add("b", b)
-	bi.add("c", c)
+	for name, sig := range map[string][]uint64{"a": a, "b": b, "c": c} {
+		if !sh.add(&Sketch{Name: name, K: 2, Shingles: 1, Signature: sig}) {
+			t.Fatalf("add %q failed", name)
+		}
+	}
 
 	seen := make(map[string]struct{})
-	bi.collect(a, seen)
-	if _, ok := seen["a"]; !ok {
+	got := map[string]bool{}
+	for _, s := range sh.appendCandidates(a, seen, nil) {
+		got[s.Name] = true
+	}
+	if !got["a"] {
 		t.Error("a must be a candidate of its own signature")
 	}
-	if _, ok := seen["b"]; !ok {
+	if !got["b"] {
 		t.Error("b shares band 0 with a and must be a candidate")
 	}
-	if _, ok := seen["c"]; ok {
+	if got["c"] {
 		t.Error("c shares no band with a and must not be a candidate")
+	}
+	// A second probe reusing the same seen map must append nothing new:
+	// the dedup set spans probes until the caller clears it.
+	if again := sh.appendCandidates(a, seen, nil); len(again) != 0 {
+		t.Errorf("re-probe with warm seen map appended %d candidates, want 0", len(again))
 	}
 }
 

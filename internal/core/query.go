@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // SearchMode selects how SearchTopK-style queries scan the index.
 type SearchMode string
@@ -25,6 +28,39 @@ func ParseSearchMode(s string) (SearchMode, error) {
 	default:
 		return "", fmt.Errorf("search: unknown mode %q (want %q or %q)", s, ModeLSH, ModeExact)
 	}
+}
+
+// parallelScoreMin is the candidate count below which scoring runs
+// inline instead of fanning out over the pool: spawning workers costs
+// a few goroutine wakeups and closure allocations, which the word-packed
+// comparator out-runs until the corpus is several thousand sketches.
+// Keeping small scans inline is also what makes steady-state SearchTopK
+// allocation-free.
+const parallelScoreMin = 4096
+
+// searchBuf holds the scratch state of one top-K search: the candidate
+// slice, the scored results, and the LSH dedup set. Buffers are pooled
+// and reused across searches, so a steady-state search allocates only
+// the result slice it returns.
+type searchBuf struct {
+	refs    []*Sketch
+	rest    []*Sketch
+	results []Result
+	seen    map[string]struct{}
+}
+
+var searchBufPool = sync.Pool{
+	New: func() any { return &searchBuf{seen: make(map[string]struct{})} },
+}
+
+func getSearchBuf() *searchBuf { return searchBufPool.Get().(*searchBuf) }
+
+func putSearchBuf(b *searchBuf) {
+	b.refs = b.refs[:0]
+	b.rest = b.rest[:0]
+	b.results = b.results[:0]
+	clear(b.seen)
+	searchBufPool.Put(b)
 }
 
 // PairwiseDistances computes all n*(n-1)/2 distinct pairwise
@@ -61,17 +97,22 @@ func PairwiseDistances(sketches []*Sketch, pool *Pool) ([]Result, error) {
 	return results, nil
 }
 
-// SearchTopK compares query against every sketch in ix concurrently and
-// returns up to topK results with similarity >= minSim, best first.
-// An index record that is the query itself — same name AND same
-// signature — is skipped so self-hits do not crowd out real neighbors.
-// A same-named record with different content (e.g. the file changed
-// after indexing) is still reported.
+// SearchTopK compares query against every sketch in ix and returns up
+// to topK results with similarity >= minSim, best first. An index
+// record that is the query itself — same name AND same signature — is
+// skipped so self-hits do not crowd out real neighbors. A same-named
+// record with different content (e.g. the file changed after indexing)
+// is still reported. Scratch state comes from a pool, so steady-state
+// calls allocate only the returned slice.
 func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
 	if err := checkSearchArgs(ix, query, topK); err != nil {
 		return nil, err
 	}
-	return scoreRefs(ix.snapshot(), query, topK, minSim, pool), nil
+	buf := getSearchBuf()
+	defer putSearchBuf(buf)
+	buf.refs = ix.appendAll(buf.refs[:0])
+	buf.results = scoreAppend(buf.results[:0], buf.refs, query, minSim, pool)
+	return finishResults(buf.results, topK), nil
 }
 
 // SearchTopKLSH is the sub-linear counterpart of SearchTopK: it probes
@@ -79,41 +120,27 @@ func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) 
 // those, so cost scales with the number of plausible matches rather
 // than the corpus size. When the scored candidates cannot fill the
 // requested K — too few candidates, a filtered self-hit, or a minSim
-// cut — it falls back to a full SearchTopK scan, so small or sparse
-// indexes behave exactly like exact mode. When it does return a full
-// K, completeness is probabilistic: pairs with similarity well above
-// ix.LSHParams().Threshold() are candidates almost surely, pairs well
-// below it are skipped by design.
+// cut — it falls back to scoring the rest of the corpus, so small or
+// sparse indexes behave exactly like exact mode. When it does return a
+// full K, completeness is probabilistic: pairs with similarity well
+// above ix.LSHParams().Threshold() are candidates almost surely, pairs
+// well below it are skipped by design.
 func SearchTopKLSH(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
 	if err := checkSearchArgs(ix, query, topK); err != nil {
 		return nil, err
 	}
-	cands := ix.lshCandidates(query.Signature)
-	if len(cands) >= ix.Len() {
-		return scoreRefs(ix.snapshot(), query, topK, minSim, pool), nil
+	buf := getSearchBuf()
+	defer putSearchBuf(buf)
+	buf.refs = ix.appendLSHCandidates(query.Signature, buf.seen, buf.refs[:0])
+	buf.results = scoreAppend(buf.results[:0], buf.refs, query, minSim, pool)
+	if len(buf.results) < topK && len(buf.refs) < ix.Len() {
+		// Fallback: score only the records the candidate pass skipped
+		// (every candidate name is in buf.seen), so no sketch is scored
+		// twice and the merged set matches an exact scan.
+		buf.rest = ix.appendAllExcept(buf.seen, buf.rest[:0])
+		buf.results = scoreAppend(buf.results, buf.rest, query, minSim, pool)
 	}
-	results := scoreRefs(cands, query, topK, minSim, pool)
-	if len(results) >= topK {
-		return results, nil
-	}
-	// Fallback: score only the records the candidate pass skipped, then
-	// merge, so no sketch is scored twice.
-	inCands := make(map[string]struct{}, len(cands))
-	for _, c := range cands {
-		inCands[c.Name] = struct{}{}
-	}
-	var rest []*Sketch
-	for _, s := range ix.snapshot() {
-		if _, ok := inCands[s.Name]; !ok {
-			rest = append(rest, s)
-		}
-	}
-	results = append(results, scoreRefs(rest, query, topK, minSim, pool)...)
-	sortResults(results)
-	if len(results) > topK {
-		results = results[:topK]
-	}
-	return results, nil
+	return finishResults(buf.results, topK), nil
 }
 
 func checkSearchArgs(ix *Index, query *Sketch, topK int) error {
@@ -121,6 +148,10 @@ func checkSearchArgs(ix *Index, query *Sketch, topK int) error {
 		return fmt.Errorf("search: topK must be positive, got %d", topK)
 	}
 	meta := ix.Metadata()
+	if got, want := normScheme(query.Scheme), normScheme(meta.Scheme); got != want {
+		return fmt.Errorf("search: query sketch scheme %q incompatible with index %q scheme %q",
+			got, meta.Name, want)
+	}
 	if query.K != meta.K || len(query.Signature) != meta.SignatureSize {
 		return fmt.Errorf("search: query sketch (k=%d, size=%d) incompatible with index %q (k=%d, size=%d)",
 			query.K, len(query.Signature), meta.Name, meta.K, meta.SignatureSize)
@@ -128,47 +159,134 @@ func checkSearchArgs(ix *Index, query *Sketch, topK int) error {
 	return nil
 }
 
-// scoreRefs exact-scores query against refs over pool, filters
-// self-hits and sub-minSim results, and returns the sorted top K.
-// Compatibility of refs with query must be pre-checked by the caller.
-func scoreRefs(refs []*Sketch, query *Sketch, topK int, minSim float64, pool *Pool) []Result {
+// scoreAppend exact-scores query against refs, appending results that
+// pass the self-hit and minSim filters to dst. Large ref sets fan out
+// over pool; small ones score inline, allocation-free. Compatibility of
+// refs with query must be pre-checked by the caller.
+func scoreAppend(dst []Result, refs []*Sketch, query *Sketch, minSim float64, pool *Pool) []Result {
 	if len(refs) == 0 {
-		return nil
+		return dst
 	}
-	if pool == nil {
-		pool = NewPool(0)
+	base := len(dst)
+	if need := base + len(refs); cap(dst) < need {
+		grown := make([]Result, need)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:need]
 	}
-	results := make([]Result, len(refs))
-	pool.Map(len(refs), func(i int) {
-		ref := refs[i]
-		if ref.Name == query.Name && sameSignature(ref, query) {
-			results[i] = Result{Similarity: -1} // sentinel, filtered below
-			return
+	if len(refs) >= parallelScoreMin {
+		if pool == nil {
+			pool = NewPool(0) // nil keeps the old GOMAXPROCS fan-out contract
 		}
-		sim, _ := Similarity(query, ref) // compatibility pre-checked by caller
-		results[i] = Result{Query: query.Name, Ref: ref.Name, Similarity: sim, Distance: 1 - sim}
-	})
-	kept := results[:0]
-	for _, r := range results {
+		pool.Map(len(refs), func(i int) {
+			scoreOne(dst, base+i, refs[i], query)
+		})
+	} else {
+		for i, ref := range refs {
+			scoreOne(dst, base+i, ref, query)
+		}
+	}
+	// Compact in place: the write index never passes the read index.
+	kept := dst[:base]
+	for _, r := range dst[base:] {
 		if r.Similarity >= 0 && r.Similarity >= minSim {
 			kept = append(kept, r)
 		}
 	}
-	sortResults(kept)
-	if len(kept) > topK {
-		kept = kept[:topK]
-	}
 	return kept
 }
 
-func sameSignature(a, b *Sketch) bool {
-	if len(a.Signature) != len(b.Signature) {
-		return false
+// scoreOne scores one reference into dst[i], writing the Similarity=-1
+// sentinel for self-hits so the compaction pass drops them. It inlines
+// Similarity minus the compatibility checks, which checkSearchArgs
+// already ran once for the whole query — per-ref re-validation was
+// measurable at these per-comparison costs.
+func scoreOne(dst []Result, i int, ref, query *Sketch) {
+	if ref.Name == query.Name && sameSignature(ref, query) {
+		dst[i] = Result{Similarity: -1}
+		return
 	}
-	for i := range a.Signature {
-		if a.Signature[i] != b.Signature[i] {
-			return false
+	var sim float64
+	if n := len(query.Signature); n != 0 && query.Shingles != 0 && ref.Shingles != 0 {
+		sim = float64(matchingSlots(query.Signature, ref.Signature)) / float64(n)
+	}
+	dst[i] = Result{Query: query.Name, Ref: ref.Name, Similarity: sim, Distance: 1 - sim}
+}
+
+// finishResults reduces kept (which may alias a pooled buffer) to its
+// topK best-ranked results, sorts them, and copies them out so the
+// pooled backing array never escapes to the caller. The bounded-heap
+// selection runs in O(n log k) and sorts only the K survivors, so a
+// full-corpus scan never pays an O(n log n) sort for a top-10 answer.
+// Empty result sets return nil.
+func finishResults(kept []Result, topK int) []Result {
+	if len(kept) == 0 {
+		return nil
+	}
+	if len(kept) > topK {
+		selectTopK(kept, topK)
+		kept = kept[:topK]
+	}
+	sortResults(kept)
+	out := make([]Result, len(kept))
+	copy(out, kept)
+	return out
+}
+
+// resultBetter reports whether a ranks strictly before b: descending
+// similarity, ties broken by query then ref name. It is the same total
+// order sortResults applies, so heap selection plus a final sort of the
+// survivors returns exactly what sorting everything would have.
+func resultBetter(a, b Result) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity > b.Similarity
+	}
+	if a.Query != b.Query {
+		return a.Query < b.Query
+	}
+	return a.Ref < b.Ref
+}
+
+// selectTopK partitions rs in place so its first k elements are the k
+// best-ranked results (in unspecified order). rs[:k] is kept as a
+// min-heap whose root is the worst retained result; every later element
+// that beats the root replaces it.
+func selectTopK(rs []Result, k int) {
+	h := rs[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		siftWorstDown(h, i)
+	}
+	for i := k; i < len(rs); i++ {
+		if resultBetter(rs[i], h[0]) {
+			h[0], rs[i] = rs[i], h[0]
+			siftWorstDown(h, 0)
 		}
 	}
-	return true
+}
+
+// siftWorstDown restores the "parent is no better than its children"
+// invariant from index i downward, keeping the worst retained result at
+// the root.
+func siftWorstDown(h []Result, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		w := l
+		if r := l + 1; r < len(h) && resultBetter(h[l], h[r]) {
+			w = r
+		}
+		if !resultBetter(h[i], h[w]) {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
+}
+
+func sameSignature(a, b *Sketch) bool {
+	return len(a.Signature) == len(b.Signature) &&
+		matchingSlots(a.Signature, b.Signature) == len(a.Signature)
 }

@@ -55,22 +55,46 @@ func (sh *shard) get(name string) *Sketch {
 	return sh.sketches[name]
 }
 
-// candidates returns the sketches in this shard sharing at least one
-// LSH band bucket with sig. Names hit by several bands are returned
-// once.
-func (sh *shard) candidates(sig []uint64) []*Sketch {
+// appendAll appends every sketch in this stripe to buf.
+func (sh *shard) appendAll(buf []*Sketch) []*Sketch {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	seen := make(map[string]struct{})
-	sh.bands.collect(sig, seen)
-	if len(seen) == 0 {
-		return nil
+	for _, s := range sh.sketches {
+		buf = append(buf, s)
 	}
-	out := make([]*Sketch, 0, len(seen))
-	for name := range seen {
-		out = append(out, sh.sketches[name])
+	return buf
+}
+
+// appendAllExcept appends every sketch in this stripe whose name is not
+// in skip.
+func (sh *shard) appendAllExcept(skip map[string]struct{}, buf []*Sketch) []*Sketch {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for name, s := range sh.sketches {
+		if _, ok := skip[name]; !ok {
+			buf = append(buf, s)
+		}
 	}
-	return out
+	return buf
+}
+
+// appendCandidates appends the sketches in this shard sharing at least
+// one LSH band bucket with sig, deduplicating through the caller-owned
+// seen map so names hit by several bands are appended once.
+func (sh *shard) appendCandidates(sig []uint64, seen map[string]struct{}, buf []*Sketch) []*Sketch {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	bi := sh.bands
+	for band := 0; band < bi.params.Bands; band++ {
+		for _, name := range bi.buckets[band][bi.params.bandKey(band, sig)] {
+			if _, dup := seen[name]; dup {
+				continue
+			}
+			seen[name] = struct{}{}
+			buf = append(buf, sh.sketches[name])
+		}
+	}
+	return buf
 }
 
 // shardFor maps a record name onto one of n stripes with FNV-1a.

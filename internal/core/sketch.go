@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Default sketching parameters. K follows common shingle lengths for
@@ -13,9 +14,60 @@ const (
 	DefaultSignatureSize = 128
 )
 
+// Scheme selects how shingle hashes are folded into a signature.
+type Scheme string
+
+const (
+	// SchemeOPH is one-permutation hashing with rotation densification:
+	// each shingle is hashed once and routed to one slot, so sketching
+	// costs O(n + sigSize) instead of O(n * sigSize). The default.
+	SchemeOPH Scheme = "oph"
+	// SchemeKMH is the legacy Kirsch-Mitzenmacher k-minhash: every
+	// shingle updates every slot. An order of magnitude slower, kept for
+	// compatibility with indexes built before format v3.
+	SchemeKMH Scheme = "kmh"
+	// DefaultScheme is the scheme used when none is specified.
+	DefaultScheme = SchemeOPH
+)
+
+// ParseScheme maps a CLI/config string onto a Scheme. The empty string
+// selects DefaultScheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch Scheme(s) {
+	case "":
+		return DefaultScheme, nil
+	case SchemeOPH, SchemeKMH:
+		return Scheme(s), nil
+	default:
+		return "", fmt.Errorf("sketch: unknown scheme %q (want %q or %q)", s, SchemeOPH, SchemeKMH)
+	}
+}
+
+// normScheme resolves the zero value to SchemeKMH: sketches and index
+// metadata written before schemes existed (formats v1/v2, or literals
+// in older code) carry no scheme and were always k-minhash.
+func normScheme(s Scheme) Scheme {
+	if s == "" {
+		return SchemeKMH
+	}
+	return s
+}
+
 // hashBase is the multiplier for the polynomial rolling hash over
 // shingles (the 64-bit FNV prime).
 const hashBase uint64 = 1099511628211
+
+// emptySlot marks an OPH slot no shingle hashed into. A genuine hash
+// value can collide with it only with probability 2^-64 per shingle;
+// such a slot is densified like an empty one, which keeps sketching
+// deterministic and merely costs one slot of resolution.
+const emptySlot uint64 = math.MaxUint64
+
+// densifyStep offsets borrowed slot values by the borrow distance
+// during densification, so different gap patterns stay distinguishable
+// (Shrivastava & Li, "Improved Densification of One Permutation
+// Hashing").
+const densifyStep uint64 = 0x9e3779b97f4a7c15
 
 // Record is one named input to the sketching stage.
 type Record struct {
@@ -24,11 +76,15 @@ type Record struct {
 }
 
 // Sketch is a compact fixed-size minhash signature of one record.
-// Two sketches are comparable only if they share K and signature size.
+// Two sketches are comparable only if they share the scheme, K, and
+// signature size. Scheme is in-memory state: index files record the
+// scheme once in their metadata, and loaders stamp it back onto every
+// sketch (empty means legacy KMH).
 type Sketch struct {
 	Name      string   `json:"name"`
 	K         int      `json:"k"`
 	Shingles  int      `json:"shingles"`
+	Scheme    Scheme   `json:"-"`
 	Signature []uint64 `json:"signature"`
 }
 
@@ -37,18 +93,29 @@ type Sketch struct {
 type Sketcher struct {
 	k       int
 	sigSize int
+	scheme  Scheme
 }
 
 // NewSketcher returns a sketcher producing sigSize-slot signatures over
-// k-byte shingles.
+// k-byte shingles using the default scheme.
 func NewSketcher(k, sigSize int) (*Sketcher, error) {
+	return NewSketcherScheme(k, sigSize, DefaultScheme)
+}
+
+// NewSketcherScheme is NewSketcher with an explicit sketching scheme.
+// The empty scheme means legacy KMH, matching pre-v3 index metadata.
+func NewSketcherScheme(k, sigSize int, scheme Scheme) (*Sketcher, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("sketcher: k must be positive, got %d", k)
 	}
 	if sigSize <= 0 {
 		return nil, fmt.Errorf("sketcher: signature size must be positive, got %d", sigSize)
 	}
-	return &Sketcher{k: k, sigSize: sigSize}, nil
+	scheme = normScheme(scheme)
+	if scheme != SchemeOPH && scheme != SchemeKMH {
+		return nil, fmt.Errorf("sketcher: unknown scheme %q", scheme)
+	}
+	return &Sketcher{k: k, sigSize: sigSize, scheme: scheme}, nil
 }
 
 // K returns the shingle length.
@@ -57,10 +124,100 @@ func (s *Sketcher) K() int { return s.k }
 // SignatureSize returns the number of minhash slots.
 func (s *Sketcher) SignatureSize() int { return s.sigSize }
 
+// Scheme returns the sketching scheme.
+func (s *Sketcher) Scheme() Scheme { return s.scheme }
+
 // Sketch computes the minhash signature of rec. Records shorter than K
 // produce zero shingles and an empty (all-max) signature; such sketches
 // compare as dissimilar to everything, including each other.
 func (s *Sketcher) Sketch(rec Record) *Sketch {
+	if s.scheme == SchemeKMH {
+		return s.sketchKMH(rec)
+	}
+	return s.sketchOPH(rec)
+}
+
+// sketchOPH hashes each shingle once and routes it to slot
+// floor(h * sigSize / 2^64) — the high bits of h, equal to
+// h >> (64 - log2(sigSize)) when sigSize is a power of two — keeping
+// the per-slot minimum. Empty slots are then densified by rotation so
+// sparse records still compare correctly. The rolling hash is inlined
+// rather than shared through eachShingleHash because the per-byte
+// closure call costs ~25% of the whole pipeline at these speeds.
+func (s *Sketcher) sketchOPH(rec Record) *Sketch {
+	sig := make([]uint64, s.sigSize)
+	for i := range sig {
+		sig[i] = emptySlot
+	}
+	data, k := rec.Data, s.k
+	shingles := 0
+	if len(data) >= k {
+		shingles = len(data) - k + 1
+		m := uint64(s.sigSize)
+		// pow = hashBase^(k-1), the weight of the outgoing byte.
+		var pow uint64 = 1
+		for i := 0; i < k-1; i++ {
+			pow *= hashBase
+		}
+		var h uint64
+		for i := 0; i < k; i++ {
+			h = h*hashBase + uint64(data[i]) + 1
+		}
+		v := mix64(h)
+		slot, _ := bits.Mul64(v, m)
+		if v < sig[slot] {
+			sig[slot] = v
+		}
+		for i := k; i < len(data); i++ {
+			h = (h-(uint64(data[i-k])+1)*pow)*hashBase + uint64(data[i]) + 1
+			v := mix64(h)
+			slot, _ := bits.Mul64(v, m)
+			if v < sig[slot] {
+				sig[slot] = v
+			}
+		}
+		densify(sig)
+	}
+	return &Sketch{Name: rec.Name, K: s.k, Shingles: shingles, Scheme: SchemeOPH, Signature: sig}
+}
+
+// densify fills every empty OPH slot by rotation: an empty slot borrows
+// the value of the nearest filled slot to its right (circularly),
+// offset by densifyStep per step of distance. Identical shingle sets
+// therefore still produce identical signatures, and partially
+// overlapping sets keep matching on borrowed slots only when both the
+// donor value and the gap pattern agree. No-op when every slot is
+// filled; leaves an all-empty signature untouched (the caller treats
+// zero-shingle sketches as dissimilar to everything).
+func densify(sig []uint64) {
+	first := -1
+	for i, v := range sig {
+		if v != emptySlot {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return
+	}
+	m := len(sig)
+	// Scan right-to-left tracking the nearest originally-filled slot at
+	// or after each position; slots past the last filled one wrap to
+	// `first` in the next turn of the circle.
+	src := first + m
+	for i := m - 1; i >= 0; i-- {
+		if sig[i] != emptySlot {
+			src = i
+			continue
+		}
+		d := uint64(src - i)
+		sig[i] = sig[src%m] + d*densifyStep
+	}
+}
+
+// sketchKMH is the legacy Kirsch-Mitzenmacher path: every shingle
+// updates every slot, standing in for sigSize independent permutations.
+func (s *Sketcher) sketchKMH(rec Record) *Sketch {
 	sig := make([]uint64, s.sigSize)
 	for i := range sig {
 		sig[i] = math.MaxUint64
@@ -68,8 +225,7 @@ func (s *Sketcher) Sketch(rec Record) *Sketch {
 	shingles := 0
 	eachShingleHash(rec.Data, s.k, func(h uint64) {
 		shingles++
-		// Kirsch-Mitzenmacher double hashing: slot i sees h1 + i*h2,
-		// standing in for sigSize independent permutations.
+		// Kirsch-Mitzenmacher double hashing: slot i sees h1 + i*h2.
 		h1 := mix64(h)
 		h2 := mix64(h^0x9e3779b97f4a7c15) | 1
 		v := h1
@@ -80,7 +236,7 @@ func (s *Sketcher) Sketch(rec Record) *Sketch {
 			v += h2
 		}
 	})
-	return &Sketch{Name: rec.Name, K: s.k, Shingles: shingles, Signature: sig}
+	return &Sketch{Name: rec.Name, K: s.k, Shingles: shingles, Scheme: SchemeKMH, Signature: sig}
 }
 
 // eachShingleHash calls fn with a 64-bit hash of every k-byte window of

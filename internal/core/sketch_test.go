@@ -121,6 +121,43 @@ func TestEachShingleHashRolling(t *testing.T) {
 	}
 }
 
+// FuzzEachShingleHash cross-checks the O(n) rolling hash against a
+// direct polynomial recomputation of every window, over fuzzer-chosen
+// payloads and shingle lengths. Run with `go test -fuzz=FuzzEachShingleHash
+// ./internal/core` to explore beyond the seed corpus.
+func FuzzEachShingleHash(f *testing.F) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), 4)
+	f.Add([]byte("aaaaaaaaaaaaaaaa"), 1)
+	f.Add([]byte{0x00, 0xff, 0x00, 0xff, 0x7f}, 2)
+	f.Add([]byte("ab"), 8) // shorter than k: no windows
+	f.Fuzz(func(t *testing.T, data []byte, k int) {
+		// Keep k in the meaningful range; pow and the window loop are
+		// well-defined for any positive k, but huge k just means zero
+		// windows for every input the fuzzer can build.
+		if k < 1 || k > 64 {
+			t.Skip()
+		}
+		var rolled []uint64
+		eachShingleHash(data, k, func(h uint64) { rolled = append(rolled, h) })
+		want := len(data) - k + 1
+		if want < 0 {
+			want = 0
+		}
+		if len(rolled) != want {
+			t.Fatalf("len(data)=%d k=%d: got %d hashes, want %d", len(data), k, len(rolled), want)
+		}
+		for i := range rolled {
+			var direct uint64
+			for _, b := range data[i : i+k] {
+				direct = direct*hashBase + uint64(b) + 1
+			}
+			if rolled[i] != direct {
+				t.Fatalf("window %d: rolling %#x != direct %#x", i, rolled[i], direct)
+			}
+		}
+	})
+}
+
 func equalSig(a, b []uint64) bool {
 	if len(a) != len(b) {
 		return false

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 
 	"sketchengine/internal/core"
 )
@@ -194,12 +197,29 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, fmt.Sprintf("search: %v", err))
 		return
 	}
-	resp := SearchResponse{Query: req.Name, Mode: string(mode), Results: make([]SearchHit, len(results))}
+	// The hit slice and the response struct come from pools: writeJSON
+	// has fully serialized them before this handler returns them, so
+	// steady-state search responses reuse one warm buffer set instead of
+	// allocating per request.
+	hits := searchHitsPool.Get().(*[]SearchHit)
+	*hits = (*hits)[:0]
 	for i, res := range results {
-		resp.Results[i] = SearchHit{Rank: i + 1, Ref: res.Ref, Similarity: res.Similarity, Distance: res.Distance}
+		*hits = append(*hits, SearchHit{Rank: i + 1, Ref: res.Ref, Similarity: res.Similarity, Distance: res.Distance})
 	}
+	resp := searchRespPool.Get().(*SearchResponse)
+	*resp = SearchResponse{Query: req.Name, Mode: string(mode), Results: *hits}
 	writeJSON(w, http.StatusOK, resp)
+	resp.Results = nil
+	searchRespPool.Put(resp)
+	searchHitsPool.Put(hits)
 }
+
+var (
+	// New returns a non-nil empty slice: zero-hit responses must encode
+	// as "results":[] (nil would marshal as null).
+	searchHitsPool = sync.Pool{New: func() any { s := make([]SearchHit, 0, 16); return &s }}
+	searchRespPool = sync.Pool{New: func() any { return new(SearchResponse) }}
+)
 
 func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
@@ -270,12 +290,29 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
+// jsonBufPool recycles the encode buffers behind every JSON response.
+// Encoding into a pooled buffer first (instead of streaming into the
+// ResponseWriter) costs one copy but saves the per-response encoder
+// allocations and lets us emit Content-Length.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBufBytes caps the encode buffers kept in the pool so one
+// giant response cannot pin its buffer forever.
+const maxPooledBufBytes = 1 << 20
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
 	// Encoding these response types cannot fail; a broken connection
-	// surfaces to the client, not here.
-	_ = json.NewEncoder(w).Encode(v)
+	// surfaces on the Write below, to the client.
+	_ = json.NewEncoder(buf).Encode(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(code)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBufBytes {
+		jsonBufPool.Put(buf)
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {

@@ -13,9 +13,26 @@
 #       (default BENCH_baseline.json), printing a markdown table.
 #       Exits non-zero if any benchmark regresses by more than 25%
 #       ns/op against the baseline.
+#
+# Writing BENCH_baseline.json is refused from a dirty working tree, so
+# the committed baseline always matches the commit stamped into it.
+# Set BENCH_ALLOW_DIRTY=1 to override (e.g. while iterating locally).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# refuse_dirty_baseline OUT — a baseline recorded from uncommitted code
+# lies about its "commit" field and poisons every later comparison.
+refuse_dirty_baseline() {
+    local out="$1"
+    [[ "$(basename "$out")" == "BENCH_baseline.json" ]] || return 0
+    [[ -z "${BENCH_ALLOW_DIRTY:-}" ]] || return 0
+    if [[ -n "$(git status --porcelain 2>/dev/null)" ]]; then
+        echo "bench.sh: refusing to write $out from a dirty working tree" >&2
+        echo "bench.sh: commit first, or set BENCH_ALLOW_DIRTY=1 to override" >&2
+        exit 2
+    fi
+}
 
 # run_bench OUT BENCHTIME — run all benchmarks (core microbenchmarks
 # and the internal/server HTTP serving benchmarks), write the JSON
@@ -124,5 +141,7 @@ if [[ "${1:-}" == "compare" ]]; then
         exit 1
     fi
 else
-    run_bench "${1:-BENCH_$(date -u +%Y%m%dT%H%M%SZ).json}" "${2:-1x}"
+    out="${1:-BENCH_$(date -u +%Y%m%dT%H%M%SZ).json}"
+    refuse_dirty_baseline "$out"
+    run_bench "$out" "${2:-1x}"
 fi
