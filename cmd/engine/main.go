@@ -167,6 +167,14 @@ func lshFlags(fs *flag.FlagSet) (bands, rows, shards *int) {
 	return
 }
 
+// bitsFlag adds the signature packing width flag shared by the
+// subcommands that may create an index (new indexes only; an existing
+// index keeps its stored width).
+func bitsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("bits", core.DefaultBits,
+		"signature packing width: 64 (full minhash values), 16, or 8 (b-bit minwise hashing; 4x/8x smaller, tiny accuracy cost)")
+}
+
 // resolveLSH turns the flag values into concrete parameters for a new
 // index with signature size sigSize.
 func resolveLSH(bands, rows, shards, sigSize int) (core.LSHParams, int, error) {
@@ -187,7 +195,7 @@ func resolveLSH(bands, rows, shards, sigSize int) (core.LSHParams, int, error) {
 // with an existing index's stored parameters; the stored parameters
 // always win so an index is never silently re-parameterized.
 func warnIgnoredIndexFlags(cmd string, fs *flag.FlagSet, meta core.Metadata,
-	k, size int, scheme string, bands, rows, shards int, name string, stderr io.Writer) {
+	k, size int, scheme string, bands, rows, shards, bits int, name string, stderr io.Writer) {
 	flagSet := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
 	if (flagSet["k"] && meta.K != k) || (flagSet["size"] && meta.SignatureSize != size) {
@@ -197,6 +205,10 @@ func warnIgnoredIndexFlags(cmd string, fs *flag.FlagSet, meta core.Metadata,
 	if flagSet["scheme"] && string(meta.Scheme) != scheme {
 		fmt.Fprintf(stderr, "engine: %s: existing index %q uses scheme=%s; ignoring -scheme %s\n",
 			cmd, meta.Name, meta.Scheme, scheme)
+	}
+	if flagSet["bits"] && meta.Bits != bits {
+		fmt.Fprintf(stderr, "engine: %s: existing index %q uses bits=%d; ignoring -bits %d\n",
+			cmd, meta.Name, meta.Bits, bits)
 	}
 	if (flagSet["bands"] && meta.Bands != bands) || (flagSet["rows"] && meta.RowsPerBand != rows) ||
 		(flagSet["shards"] && meta.Shards != shards) {
@@ -213,6 +225,7 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("sketch", stderr)
 	k, size, threads, scheme := sketchFlags(fs)
 	bands, rows, shards := lshFlags(fs)
+	bits := bitsFlag(fs)
 	cpu, mem := profileFlags(fs)
 	out := fs.String("o", "index.json", "output index path (loaded first if it exists)")
 	name := fs.String("name", "default", "index name (new indexes only)")
@@ -229,12 +242,12 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	return withProfiles(*cpu, *mem, func() error {
-		ix, err := loadOrCreateIndex(*out, *name, *k, *size, sch, *bands, *rows, *shards)
+		ix, err := loadOrCreateIndex(*out, *name, *k, *size, sch, *bands, *rows, *shards, *bits)
 		if err != nil {
 			return err
 		}
 		meta := ix.Metadata()
-		warnIgnoredIndexFlags("sketch", fs, meta, *k, *size, *scheme, *bands, *rows, *shards, *name, stderr)
+		warnIgnoredIndexFlags("sketch", fs, meta, *k, *size, *scheme, *bands, *rows, *shards, *bits, *name, stderr)
 		eng, err := core.NewEngineWithIndex(ix, *threads)
 		if err != nil {
 			return err
@@ -249,7 +262,7 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 		skipped := 0
 		fresh := recs[:0]
 		for _, rec := range recs {
-			if ix.Get(rec.Name) != nil {
+			if ix.Has(rec.Name) {
 				skipped++
 				fmt.Fprintf(stdout, "skip\t%s\t(already indexed)\n", rec.Name)
 				continue
@@ -315,8 +328,8 @@ func cmdDist(argv []string, stdout, stderr io.Writer) error {
 
 func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("search", stderr)
-	// No -k/-size/-scheme here: queries are always sketched with the
-	// index's own parameters (see below).
+	// No -k/-size/-scheme/-bits here: queries are always sketched with
+	// the index's own parameters (see below).
 	threads := threadsFlag(fs)
 	bands, rows, shards := lshFlags(fs)
 	cpu, mem := profileFlags(fs)
@@ -324,6 +337,7 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	topK := fs.Int("top", 5, "maximum results per query")
 	minSim := fs.Float64("min", 0, "minimum similarity to report")
 	modeFlag := fs.String("mode", "lsh", "search mode: lsh (banded candidate filter) or exact (full scan)")
+	verbose := fs.Bool("v", false, "report index and arena memory details on stderr")
 	if err := parseFlags(fs, argv); err != nil {
 		return err
 	}
@@ -369,6 +383,11 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		eng.SetMode(mode)
+		if *verbose {
+			meta, arena := ix.Metadata(), ix.Arena()
+			fmt.Fprintf(stderr, "engine: search: index=%s records=%d bits=%d signature_bytes=%d bytes_per_record=%.1f arena_utilization=%.2f\n",
+				meta.Name, meta.RecordCount, arena.Bits, arena.SignatureBytes, arena.BytesPerRecord, arena.Utilization)
+		}
 		recs, err := readRecords(fs.Args())
 		if err != nil {
 			return err
@@ -388,14 +407,14 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	})
 }
 
-func loadOrCreateIndex(path, name string, k, size int, scheme core.Scheme, bands, rows, shards int) (*core.Index, error) {
+func loadOrCreateIndex(path, name string, k, size int, scheme core.Scheme, bands, rows, shards, bits int) (*core.Index, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		lsh, n, err := resolveLSH(bands, rows, shards, size)
 		if err != nil {
 			return nil, err
 		}
-		return core.NewIndexWith(name, k, size, scheme, lsh, n)
+		return core.NewIndexWith(name, k, size, scheme, lsh, n, bits)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)

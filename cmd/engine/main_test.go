@@ -207,6 +207,56 @@ func TestCLISchemeFlag(t *testing.T) {
 	}
 }
 
+// TestCLIBitsFlag drives -bits end to end: a packed index returns the
+// same hits on the golden corpus, `search -v` reports the packed arena
+// footprint, conflicting flags on an existing index warn and are
+// ignored, and unsupported widths are rejected.
+func TestCLIBitsFlag(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+	packed := filepath.Join(dir, "packed.json")
+	inputs := []string{testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt")}
+	if _, stderr, code := runCLI(t, append([]string{"sketch", "-o", full}, inputs...)...); code != 0 {
+		t.Fatalf("sketch failed (%d): %s", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, append([]string{"sketch", "-o", packed, "-bits", "8"}, inputs...)...); code != 0 {
+		t.Fatalf("sketch -bits 8 failed (%d): %s", code, stderr)
+	}
+	// The 8-bit index must return the same neighbors on this tiny corpus
+	// (quantized similarities may differ; refs may not).
+	want, stderr, code := runCLI(t, "search", "-d", full, "-top", "1", testdata("beta.txt"))
+	if code != 0 {
+		t.Fatalf("search full failed (%d): %s", code, stderr)
+	}
+	got, stderr, code := runCLI(t, "search", "-d", packed, "-top", "1", "-v", testdata("beta.txt"))
+	if code != 0 {
+		t.Fatalf("search packed failed (%d): %s", code, stderr)
+	}
+	wantRef := strings.Fields(strings.Split(want, "\n")[1])[1]
+	gotRef := strings.Fields(strings.Split(got, "\n")[1])[1]
+	if wantRef != gotRef {
+		t.Fatalf("8-bit index top hit %q, full-width %q", gotRef, wantRef)
+	}
+	// -v reports the arena memory on stderr: 128 slots at 8 bits is 128
+	// bytes per record.
+	if !strings.Contains(stderr, "bits=8") || !strings.Contains(stderr, "bytes_per_record=128.0") {
+		t.Fatalf("search -v stderr = %q, want arena report with bits=8 bytes_per_record=128.0", stderr)
+	}
+	// Re-sketching with a conflicting -bits warns and keeps the stored
+	// width.
+	if _, stderr, code = runCLI(t, "sketch", "-o", packed, "-bits", "16", testdata("alpha.txt")); code != 0 {
+		t.Fatalf("re-sketch failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "ignoring -bits 16") {
+		t.Fatalf("want conflicting-bits warning, got: %q", stderr)
+	}
+	// Unsupported widths are rejected up front.
+	if _, stderr, code := runCLI(t, "sketch", "-o", filepath.Join(dir, "bad.json"),
+		"-bits", "12", testdata("alpha.txt")); code == 0 || !strings.Contains(stderr, "packing width") {
+		t.Fatalf("sketch -bits 12: code=%d stderr=%q, want packing-width error", code, stderr)
+	}
+}
+
 // TestCLIProfileFlags: -cpuprofile/-memprofile must leave non-empty
 // pprof files behind on a successful run.
 func TestCLIProfileFlags(t *testing.T) {

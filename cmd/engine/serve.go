@@ -25,6 +25,7 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("serve", stderr)
 	k, size, threads, scheme := sketchFlags(fs)
 	bands, rows, shards := lshFlags(fs)
+	bits := bitsFlag(fs)
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	pprofAddr := fs.String("pprof-addr", "",
 		"listen address for net/http/pprof (e.g. 127.0.0.1:6060; empty disables)")
@@ -53,12 +54,12 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ix, err := loadOrCreateIndex(*db, *name, *k, *size, sch, *bands, *rows, *shards)
+	ix, err := loadOrCreateIndex(*db, *name, *k, *size, sch, *bands, *rows, *shards, *bits)
 	if err != nil {
 		return err
 	}
 	meta := ix.Metadata()
-	warnIgnoredIndexFlags("serve", fs, meta, *k, *size, *scheme, *bands, *rows, *shards, *name, stderr)
+	warnIgnoredIndexFlags("serve", fs, meta, *k, *size, *scheme, *bands, *rows, *shards, *bits, *name, stderr)
 	eng, err := core.NewEngineWithIndex(ix, *threads)
 	if err != nil {
 		return err

@@ -1,0 +1,142 @@
+package core
+
+import "fmt"
+
+// Packing widths for the signature arena. At 64 bits every slot keeps
+// its full minhash value and behavior is byte-identical to the
+// per-record signature store this arena replaced. At 16 and 8 bits only
+// the low b bits of every slot are kept (b-bit minwise hashing), so 4
+// or 8 slots pack into each uint64 word: an 8x smaller working set and
+// a word-parallel comparator, at the cost of a small, quantifiable
+// extra-collision rate (two genuinely different slots agree on their
+// low b bits with probability 2^-b).
+const (
+	// DefaultBits keeps full-width slots; the default.
+	DefaultBits = 64
+)
+
+// validBits normalizes and validates a packing width: 0 means
+// DefaultBits; otherwise it must be one of 64, 16, or 8.
+func validBits(bits int) (int, error) {
+	switch bits {
+	case 0:
+		return DefaultBits, nil
+	case 64, 16, 8:
+		return bits, nil
+	default:
+		return 0, fmt.Errorf("bits: unsupported packing width %d (want 64, 16, or 8)", bits)
+	}
+}
+
+// laneMask returns the per-slot value mask for a packing width: the low
+// `bits` bits, or all ones at full width.
+func laneMask(bits int) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(bits) - 1
+}
+
+// sigWords returns how many uint64 words one packed signature of
+// `slots` b-bit lanes occupies. The last word may be partially used;
+// its padding lanes are always zero on every row, so they cancel in
+// comparisons (see packedMatchingSlots).
+func sigWords(slots, bits int) int {
+	if slots <= 0 {
+		return 0
+	}
+	return (slots*bits + 63) / 64
+}
+
+// sigArena is a contiguous packed signature store: every record's
+// signature occupies the same number of words, back to back in one
+// []uint64 buffer, addressed by record index. Exact scans walk the
+// buffer cache-linearly instead of pointer-chasing per-record slices.
+// The arena is not internally locked; the owning shard serializes
+// access.
+type sigArena struct {
+	bits  int
+	slots int
+	words int // words per signature
+	buf   []uint64
+}
+
+func newSigArena(slots, bits int) *sigArena {
+	return &sigArena{bits: bits, slots: slots, words: sigWords(slots, bits)}
+}
+
+// appendSig packs the full-width slot values of sig onto the end of the
+// arena, truncating each slot to the arena's packing width, and returns
+// the new record's index.
+func (a *sigArena) appendSig(sig []uint64) int {
+	idx := a.len()
+	a.buf = packSignatureAppend(a.buf, sig, a.bits)
+	return idx
+}
+
+// len returns the number of signatures stored.
+func (a *sigArena) len() int {
+	if a.words == 0 {
+		return 0
+	}
+	return len(a.buf) / a.words
+}
+
+// row returns the packed words of signature i, aliasing the arena
+// buffer. The slice is only valid until the next appendSig (growth may
+// reallocate); callers hold the shard lock across use.
+func (a *sigArena) row(i int) []uint64 {
+	off := i * a.words
+	return a.buf[off : off+a.words : off+a.words]
+}
+
+// appendUnpacked appends signature i's slot values to dst, truncated to
+// the arena's packing width. At 64 bits the values are the originals.
+func (a *sigArena) appendUnpacked(dst []uint64, i int) []uint64 {
+	return unpackSignatureAppend(dst, a.row(i), a.slots, a.bits)
+}
+
+// usedBytes returns the bytes holding live signatures; capBytes the
+// bytes allocated (append growth keeps headroom).
+func (a *sigArena) usedBytes() int64 { return int64(len(a.buf)) * 8 }
+func (a *sigArena) capBytes() int64  { return int64(cap(a.buf)) * 8 }
+
+// packSignatureAppend packs full-width slot values into b-bit lanes,
+// little-endian within each word (slot j of a word occupies bits
+// [j*b, (j+1)*b)), and appends the packed words to dst. Padding lanes
+// in a final partial word are zero.
+func packSignatureAppend(dst []uint64, sig []uint64, bits int) []uint64 {
+	if bits == 64 {
+		return append(dst, sig...)
+	}
+	mask := laneMask(bits)
+	var w uint64
+	shift := 0
+	for _, v := range sig {
+		w |= (v & mask) << uint(shift)
+		shift += bits
+		if shift == 64 {
+			dst = append(dst, w)
+			w, shift = 0, 0
+		}
+	}
+	if shift != 0 {
+		dst = append(dst, w)
+	}
+	return dst
+}
+
+// unpackSignatureAppend is the inverse of packSignatureAppend: it
+// appends `slots` lane values from the packed words to dst.
+func unpackSignatureAppend(dst []uint64, packed []uint64, slots, bits int) []uint64 {
+	if bits == 64 {
+		return append(dst, packed[:slots]...)
+	}
+	mask := laneMask(bits)
+	perWord := 64 / bits
+	for i := 0; i < slots; i++ {
+		w := packed[i/perWord]
+		dst = append(dst, (w>>uint((i%perWord)*bits))&mask)
+	}
+	return dst
+}

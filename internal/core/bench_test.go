@@ -60,13 +60,45 @@ func BenchmarkSimilarity(b *testing.B) {
 	}
 }
 
-func benchIndex(b *testing.B, n int) (*Index, *Sketch) {
+// BenchmarkSimilarityPacked measures the word-parallel packed
+// comparator at each packing width over default-size signatures: at 8
+// bits one XOR+SWAR word op compares 8 slots. bits=64 is the same
+// full-width compare BenchmarkSimilarity measures, via the packed entry
+// point.
+func BenchmarkSimilarityPacked(b *testing.B) {
+	s, err := NewSketcher(DefaultK, DefaultSignatureSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := s.Sketch(Record{Name: "x", Data: benchData(4<<10, 2)})
+	y := s.Sketch(Record{Name: "y", Data: benchData(4<<10, 3)})
+	for _, bits := range []int{64, 16, 8} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			px := packSignatureAppend(nil, x.Signature, bits)
+			py := packSignatureAppend(nil, y.Signature, bits)
+			sink := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += packedMatchingSlots(px, py, DefaultSignatureSize, bits)
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
+func benchIndex(b *testing.B, n, bits int) (*Index, *Sketch) {
 	b.Helper()
 	s, err := NewSketcher(DefaultK, DefaultSignatureSize)
 	if err != nil {
 		b.Fatal(err)
 	}
-	ix := NewIndex("bench", DefaultK, DefaultSignatureSize)
+	ix, err := NewIndexWith("bench", DefaultK, DefaultSignatureSize, DefaultScheme,
+		DefaultLSHParams(DefaultSignatureSize), DefaultShards, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < n; i++ {
 		rec := Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(2<<10, int64(i+10))}
 		if _, err := ix.Add(s.Sketch(rec)); err != nil {
@@ -78,7 +110,7 @@ func benchIndex(b *testing.B, n int) (*Index, *Sketch) {
 
 func BenchmarkSearchTopK(b *testing.B) {
 	for _, n := range []int{100, 1000} {
-		ix, q := benchIndex(b, n)
+		ix, q := benchIndex(b, n, DefaultBits)
 		for _, threads := range []int{1, 0} { // 0 = GOMAXPROCS
 			name := fmt.Sprintf("n=%d/threads=%d", n, threads)
 			if threads == 0 {
@@ -86,6 +118,7 @@ func BenchmarkSearchTopK(b *testing.B) {
 			}
 			b.Run(name, func(b *testing.B) {
 				pool := NewPool(threads)
+				b.ReportMetric(ix.Arena().BytesPerRecord, "bytes/rec")
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := SearchTopK(ix, q, 10, 0, pool); err != nil {
@@ -94,6 +127,26 @@ func BenchmarkSearchTopK(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkPackedStore measures the arena scan at each packing width on
+// a 1000-record corpus — the working-set effect the b-bit store exists
+// for — and reports the per-record signature footprint alongside ns/op
+// so BENCH_*.json tracks memory regressions too.
+func BenchmarkPackedStore(b *testing.B) {
+	for _, bits := range []int{64, 16, 8} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			ix, q := benchIndex(b, 1000, bits)
+			pool := NewPool(0)
+			b.ReportMetric(ix.Arena().BytesPerRecord, "bytes/rec")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SearchTopK(ix, q, 10, 0, pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

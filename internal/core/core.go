@@ -6,23 +6,27 @@
 //  1. Sketching: input records are shingled with a rolling hash and
 //     compressed into compact fixed-size minhash signatures (see Sketcher).
 //  2. Indexing: signatures live in a sharded in-memory Index — N
-//     lock-striped shards keyed by record-name hash, each owning its
-//     sketches and LSH band postings — alongside JSON metadata with
+//     lock-striped shards keyed by record-name hash, each owning a
+//     contiguous packed signature arena (optionally truncated to b-bit
+//     slots) and LSH band postings — alongside JSON metadata with
 //     incremental add / skip-existing semantics.
 //  3. Querying: pairwise-distance and top-K similarity queries fan out
-//     over a bounded worker pool sized to GOMAXPROCS (see Pool). Top-K
-//     search runs in LSH mode by default, probing band buckets for
-//     candidates instead of scanning the whole corpus (see SearchTopKLSH).
+//     over a bounded worker pool sized to GOMAXPROCS (see Pool), one
+//     goroutine per shard, each sweeping its arena cache-linearly.
+//     Top-K search runs in LSH mode by default, probing band buckets
+//     for candidates instead of scanning the whole corpus (see
+//     SearchTopKLSH).
 package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
 // Version identifies the engine build. It is reported by the CLI and
 // stamped into saved index metadata.
-const Version = "0.4.0"
+const Version = "0.5.0"
 
 // Options configures an Engine. Zero values fall back to the package
 // defaults (DefaultK, DefaultSignatureSize, DefaultScheme sketching,
@@ -48,6 +52,12 @@ type Options struct {
 	// Shards is the number of lock stripes in the index; <= 0 means
 	// DefaultShards.
 	Shards int
+	// Bits is the signature packing width: 64 (full minhash values,
+	// byte-identical to pre-arena behavior), 16, or 8 (b-bit minwise
+	// hashing: only the low b bits of every slot are stored, shrinking
+	// the working set 4x/8x and comparing 4/8 slots per word op, at a
+	// 2^-b per-slot extra-collision cost). 0 means DefaultBits (64).
+	Bits int
 	// Mode selects how Search scans the index; empty means ModeLSH.
 	Mode SearchMode
 }
@@ -60,6 +70,10 @@ type Engine struct {
 	index    *Index
 	pool     *Pool
 	mode     SearchMode
+	// queries recycles query sketches (name cleared, signature buffer
+	// kept) so steady-state searches never allocate the ~1KB signature
+	// per request; see SearchMode.
+	queries sync.Pool
 }
 
 // NewEngine builds an Engine from opts, applying defaults for zero fields.
@@ -94,7 +108,7 @@ func NewEngine(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	ix, err := NewIndexWith(opts.IndexName, opts.K, opts.SignatureSize, scheme, lsh, opts.Shards)
+	ix, err := NewIndexWith(opts.IndexName, opts.K, opts.SignatureSize, scheme, lsh, opts.Shards, opts.Bits)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -211,6 +225,10 @@ type Stats struct {
 	K              int        `json:"k"`
 	SignatureSize  int        `json:"signature_size"`
 	Scheme         Scheme     `json:"scheme"`
+	Bits           int        `json:"bits"`
+	SignatureBytes int64      `json:"signature_bytes"`
+	BytesPerRecord float64    `json:"bytes_per_record"`
+	ArenaUtilized  float64    `json:"arena_utilization"`
 	Bands          int        `json:"bands"`
 	RowsPerBand    int        `json:"rows_per_band"`
 	LSHThreshold   float64    `json:"lsh_threshold"`
@@ -229,12 +247,17 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	meta := e.index.Metadata()
 	lsh := e.index.LSHParams()
+	arena := e.index.Arena()
 	return Stats{
 		IndexName:      meta.Name,
 		Records:        meta.RecordCount,
 		K:              meta.K,
 		SignatureSize:  meta.SignatureSize,
 		Scheme:         normScheme(meta.Scheme),
+		Bits:           arena.Bits,
+		SignatureBytes: arena.SignatureBytes,
+		BytesPerRecord: arena.BytesPerRecord,
+		ArenaUtilized:  arena.Utilization,
 		Bands:          lsh.Bands,
 		RowsPerBand:    lsh.RowsPerBand,
 		LSHThreshold:   lsh.Threshold(),
@@ -256,11 +279,28 @@ func (e *Engine) Search(rec Record, topK int, minSim float64) ([]Result, error) 
 // SearchMode is Search with an explicit scan mode overriding the
 // engine default for this query only — the single dispatch site shared
 // by the CLI (engine-wide mode) and the HTTP serving layer
-// (per-request mode overrides).
+// (per-request mode overrides). The query sketch comes from a pool and
+// is emitted with SketchInto, so a steady-state search sketches into a
+// warm buffer instead of allocating a signature per request.
 func (e *Engine) SearchMode(rec Record, mode SearchMode, topK int, minSim float64) ([]Result, error) {
-	q := e.sketcher.Sketch(rec)
-	if mode == ModeExact {
-		return SearchTopK(e.index, q, topK, minSim, e.pool)
+	q, _ := e.queries.Get().(*Sketch)
+	if q == nil || len(q.Signature) != e.sketcher.SignatureSize() {
+		q = &Sketch{Signature: make([]uint64, e.sketcher.SignatureSize())}
 	}
-	return SearchTopKLSH(e.index, q, topK, minSim, e.pool)
+	q.Name = rec.Name
+	q.K = e.sketcher.K()
+	q.Scheme = e.sketcher.Scheme()
+	q.Shingles = e.sketcher.SketchInto(q.Signature, rec)
+	var res []Result
+	var err error
+	if mode == ModeExact {
+		res, err = SearchTopK(e.index, q, topK, minSim, e.pool)
+	} else {
+		res, err = SearchTopKLSH(e.index, q, topK, minSim, e.pool)
+	}
+	// Results carry only the name string; the signature buffer never
+	// escapes the search, so the sketch can be recycled.
+	q.Name = ""
+	e.queries.Put(q)
+	return res, err
 }

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Result is one query/reference comparison.
 type Result struct {
@@ -52,6 +55,56 @@ func eqSlot(x, y uint64) int {
 		return 1
 	}
 	return 0
+}
+
+// packedMatchingSlots counts equal slots between two packed signature
+// rows of `slots` b-bit lanes (see sigArena). Both rows must be the
+// same length with zeroed padding lanes; padding lanes XOR to zero on
+// every pair and are subtracted back out, so the count is exact. At
+// full width it falls through to matchingSlots. One word op compares 4
+// (16-bit) or 8 (8-bit) slots with no per-slot branch.
+func packedMatchingSlots(a, b []uint64, slots, bits int) int {
+	switch bits {
+	case 16:
+		m := 0
+		b = b[:len(a)]
+		for i, w := range a {
+			m += zeroLanes16(w ^ b[i])
+		}
+		return m - (len(a)*4 - slots)
+	case 8:
+		m := 0
+		b = b[:len(a)]
+		for i, w := range a {
+			m += zeroLanes8(w ^ b[i])
+		}
+		return m - (len(a)*8 - slots)
+	default:
+		return matchingSlots(a, b)
+	}
+}
+
+// zeroLanes16 counts the 16-bit lanes of x that are zero, branch-free:
+// each lane's bits are OR-folded down to its lowest bit (the cross-lane
+// garbage the shifts drag into upper bit positions never reaches bit 0
+// of a lane, because every shift distance is smaller than the lane
+// width), then the surviving "lane is nonzero" bits are popcounted.
+// Unlike the classic (x-lo)&^x&hi borrow trick, the OR fold is exact —
+// borrows between lanes cannot miscount.
+func zeroLanes16(x uint64) int {
+	x |= x >> 8
+	x |= x >> 4
+	x |= x >> 2
+	x |= x >> 1
+	return 4 - bits.OnesCount64(x&0x0001000100010001)
+}
+
+// zeroLanes8 is zeroLanes16 for 8-bit lanes: 8 slots per word op.
+func zeroLanes8(x uint64) int {
+	x |= x >> 4
+	x |= x >> 2
+	x |= x >> 1
+	return 8 - bits.OnesCount64(x&0x0101010101010101)
 }
 
 // Distance is 1 - Similarity.

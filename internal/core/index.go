@@ -15,19 +15,22 @@ import (
 // Index file format versions. V1 files (PR 1) carry no format field and
 // no LSH/shard parameters; they load with defaults applied. V2 files
 // predate sketch schemes; v1 and v2 both load as the legacy KMH scheme.
-// V3 records the scheme in the metadata. Save always writes the current
-// format.
+// V3 records the scheme in the metadata. V4 records the signature
+// packing width (bits); v1–v3 files predate packing and load as
+// full-width 64-bit arenas. Save always writes the current format.
 const (
 	FormatV1      = 1
 	FormatV2      = 2
 	FormatV3      = 3
-	CurrentFormat = FormatV3
+	FormatV4      = 4
+	CurrentFormat = FormatV4
 )
 
 // Metadata describes an index; it is embedded in the JSON serialization
 // and kept current as records are added. Format, Bands, RowsPerBand and
-// Shards are new in format v2, Scheme in v3; absent fields are
-// defaulted when loading older files (pre-v3 indexes are always KMH).
+// Shards are new in format v2, Scheme in v3, Bits in v4; absent fields
+// are defaulted when loading older files (pre-v3 indexes are always
+// KMH, pre-v4 always 64-bit).
 type Metadata struct {
 	Name          string    `json:"name"`
 	Version       string    `json:"version"`
@@ -38,6 +41,7 @@ type Metadata struct {
 	K             int       `json:"k"`
 	SignatureSize int       `json:"signature_size"`
 	Scheme        Scheme    `json:"scheme,omitempty"`
+	Bits          int       `json:"bits,omitempty"`
 	Bands         int       `json:"bands,omitempty"`
 	RowsPerBand   int       `json:"rows_per_band,omitempty"`
 	Shards        int       `json:"shards,omitempty"`
@@ -45,25 +49,28 @@ type Metadata struct {
 
 // Index is an in-memory store of sketches keyed by record name,
 // striped over N independently-locked shards so concurrent adds and
-// probes on different stripes never contend. Each shard also maintains
-// LSH band postings for sub-linear candidate filtering (see
-// SearchTopKLSH). All methods are safe for concurrent use except
-// Rebucket. Adds are incremental: a sketch whose name is already
-// present is skipped, never overwritten.
+// probes on different stripes never contend. Each shard owns a
+// contiguous packed signature arena (optionally truncated to b-bit
+// slots; see sigArena) plus LSH band postings for sub-linear candidate
+// filtering (see SearchTopKLSH). All methods are safe for concurrent
+// use except Rebucket. Adds are incremental: a sketch whose name is
+// already present is skipped, never overwritten.
 type Index struct {
 	mu     sync.RWMutex // guards meta, order, gen, and the shards slice header
 	meta   Metadata
 	order  []string // insertion order, for deterministic iteration
 	shards []*shard
 	lsh    LSHParams
+	bits   int
 	gen    uint64 // bumped on every successful Add; see Generation
 }
 
 // NewIndex returns an empty index accepting sketches with the given
 // shingle length and signature size, using the default sketch scheme,
-// banding scheme, and shard count. Use NewIndexWith to configure those.
+// banding scheme, shard count, and full-width (64-bit) signature
+// storage. Use NewIndexWith to configure those.
 func NewIndex(name string, k, sigSize int) *Index {
-	if ix, err := NewIndexWith(name, k, sigSize, DefaultScheme, DefaultLSHParams(sigSize), DefaultShards); err == nil {
+	if ix, err := NewIndexWith(name, k, sigSize, DefaultScheme, DefaultLSHParams(sigSize), DefaultShards, DefaultBits); err == nil {
 		return ix
 	}
 	// Non-positive sigSize: keep the old never-fail contract with a
@@ -81,19 +88,22 @@ func NewIndex(name string, k, sigSize int) *Index {
 			K:             k,
 			SignatureSize: sigSize,
 			Scheme:        DefaultScheme,
+			Bits:          DefaultBits,
 			Bands:         lsh.Bands,
 			RowsPerBand:   lsh.RowsPerBand,
 			Shards:        DefaultShards,
 		},
-		shards: newShards(DefaultShards, lsh),
+		shards: newShards(DefaultShards, lsh, sigSize, DefaultBits),
 		lsh:    lsh,
+		bits:   DefaultBits,
 	}
 }
 
 // NewIndexWith returns an empty index with an explicit sketch scheme,
-// LSH banding scheme, and shard count. The empty scheme means legacy
-// KMH, matching pre-v3 metadata.
-func NewIndexWith(name string, k, sigSize int, scheme Scheme, lsh LSHParams, shards int) (*Index, error) {
+// LSH banding scheme, shard count, and signature packing width (64, 16,
+// or 8 bits per slot; 0 means DefaultBits). The empty scheme means
+// legacy KMH, matching pre-v3 metadata.
+func NewIndexWith(name string, k, sigSize int, scheme Scheme, lsh LSHParams, shards, bits int) (*Index, error) {
 	scheme = normScheme(scheme)
 	if scheme != SchemeOPH && scheme != SchemeKMH {
 		return nil, fmt.Errorf("index %q: unknown scheme %q", name, scheme)
@@ -103,6 +113,10 @@ func NewIndexWith(name string, k, sigSize int, scheme Scheme, lsh LSHParams, sha
 	}
 	if shards <= 0 {
 		return nil, fmt.Errorf("index %q: shard count must be positive, got %d", name, shards)
+	}
+	bits, err := validBits(bits)
+	if err != nil {
+		return nil, fmt.Errorf("index %q: %w", name, err)
 	}
 	now := time.Now().UTC()
 	return &Index{
@@ -115,18 +129,22 @@ func NewIndexWith(name string, k, sigSize int, scheme Scheme, lsh LSHParams, sha
 			K:             k,
 			SignatureSize: sigSize,
 			Scheme:        scheme,
+			Bits:          bits,
 			Bands:         lsh.Bands,
 			RowsPerBand:   lsh.RowsPerBand,
 			Shards:        shards,
 		},
-		shards: newShards(shards, lsh),
+		shards: newShards(shards, lsh, sigSize, bits),
 		lsh:    lsh,
+		bits:   bits,
 	}, nil
 }
 
 // Add inserts s if no record with the same name exists. It reports
 // whether the sketch was added; false with a nil error means the name
-// already existed and the add was skipped.
+// already existed and the add was skipped. The signature is packed into
+// the owning shard's arena: at packing widths below 64 only the low b
+// bits of every slot are stored.
 func (ix *Index) Add(s *Sketch) (bool, error) {
 	if s.Name == "" {
 		return false, fmt.Errorf("index: sketch has empty name")
@@ -184,12 +202,67 @@ func (ix *Index) Occupancy() []int {
 	return out
 }
 
-// Get returns the sketch named name, or nil if absent.
-func (ix *Index) Get(name string) *Sketch {
+// ArenaStats is the memory footprint of the packed signature store,
+// summed over every shard arena. BytesPerRecord is SignatureBytes over
+// the record count (0 for an empty index); Utilization is live bytes
+// over allocated capacity (append growth keeps headroom).
+type ArenaStats struct {
+	Bits           int     `json:"bits"`
+	SignatureBytes int64   `json:"signature_bytes"`
+	CapacityBytes  int64   `json:"capacity_bytes"`
+	BytesPerRecord float64 `json:"bytes_per_record"`
+	Utilization    float64 `json:"utilization"`
+}
+
+// Arena reports the signature arenas' aggregate memory footprint.
+func (ix *Index) Arena() ArenaStats {
+	ix.mu.RLock()
+	shards := ix.shards
+	bits := ix.bits
+	ix.mu.RUnlock()
+	st := ArenaStats{Bits: bits}
+	records := 0
+	for _, sh := range shards {
+		used, capacity := sh.arenaBytes()
+		st.SignatureBytes += used
+		st.CapacityBytes += capacity
+		records += sh.size()
+	}
+	if records > 0 {
+		st.BytesPerRecord = float64(st.SignatureBytes) / float64(records)
+	}
+	if st.CapacityBytes > 0 {
+		st.Utilization = float64(st.SignatureBytes) / float64(st.CapacityBytes)
+	}
+	return st
+}
+
+// Bits returns the signature packing width (64, 16, or 8).
+func (ix *Index) Bits() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.bits
+}
+
+// Has reports whether a record named name is indexed, without
+// reconstructing its sketch.
+func (ix *Index) Has(name string) bool {
 	ix.mu.RLock()
 	shards := ix.shards
 	ix.mu.RUnlock()
-	return shards[shardFor(name, len(shards))].get(name)
+	return shards[shardFor(name, len(shards))].has(name)
+}
+
+// Get reconstructs the sketch named name from the arena, or returns nil
+// if absent. At packing widths below 64 the returned slot values are
+// the stored truncated lanes, not the original full-width minhashes.
+func (ix *Index) Get(name string) *Sketch {
+	ix.mu.RLock()
+	shards := ix.shards
+	k := ix.meta.K
+	scheme := ix.meta.Scheme
+	ix.mu.RUnlock()
+	return shards[shardFor(name, len(shards))].getSketch(name, k, scheme)
 }
 
 // Len returns the number of indexed records.
@@ -229,54 +302,21 @@ func (ix *Index) ShardCount() int {
 	return len(ix.shards)
 }
 
-// appendAll appends every indexed sketch to buf and returns it, without
-// copying the sketches themselves (they are immutable once added).
-// Order is unspecified — shard map iteration — which is fine for the
-// search paths because scored results are sorted with deterministic tie
-// breaks. Reusing buf across calls keeps steady-state search
-// allocation-free.
-func (ix *Index) appendAll(buf []*Sketch) []*Sketch {
+// snapshotShards returns the current shard slice for query fan-out.
+// Shards are append-only (Rebucket excepted, which must not run
+// concurrently with queries on a live index), so holding the snapshot
+// without ix.mu is safe.
+func (ix *Index) snapshotShards() []*shard {
 	ix.mu.RLock()
-	shards := ix.shards
-	ix.mu.RUnlock()
-	for _, sh := range shards {
-		buf = sh.appendAll(buf)
-	}
-	return buf
-}
-
-// appendAllExcept appends every indexed sketch whose name is not in
-// skip. It is the LSH fallback's complement pass: score only what the
-// candidate probe missed.
-func (ix *Index) appendAllExcept(skip map[string]struct{}, buf []*Sketch) []*Sketch {
-	ix.mu.RLock()
-	shards := ix.shards
-	ix.mu.RUnlock()
-	for _, sh := range shards {
-		buf = sh.appendAllExcept(skip, buf)
-	}
-	return buf
-}
-
-// appendLSHCandidates appends the sketches sharing at least one LSH
-// band bucket with sig, gathered across all shards. seen receives every
-// appended name (names are unique across shards, so one map dedups
-// globally); callers clear and reuse it across queries. Order is
-// unspecified; callers sort scored results.
-func (ix *Index) appendLSHCandidates(sig []uint64, seen map[string]struct{}, buf []*Sketch) []*Sketch {
-	ix.mu.RLock()
-	shards := ix.shards
-	ix.mu.RUnlock()
-	for _, sh := range shards {
-		buf = sh.appendCandidates(sig, seen, buf)
-	}
-	return buf
+	defer ix.mu.RUnlock()
+	return ix.shards
 }
 
 // Rebucket rebuilds the shard stripes and LSH band postings in place
-// with a new banding scheme and shard count, without re-sketching. It
-// must not run concurrently with Add; it exists so a loaded index can
-// be retuned (e.g. `search -bands ... -shards ...`) before serving.
+// with a new banding scheme and shard count, without re-sketching; the
+// packing width is preserved (repacking truncated lanes is lossless).
+// It must not run concurrently with Add; it exists so a loaded index
+// can be retuned (e.g. `search -bands ... -shards ...`) before serving.
 func (ix *Index) Rebucket(lsh LSHParams, shards int) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -286,10 +326,18 @@ func (ix *Index) Rebucket(lsh LSHParams, shards int) error {
 	if shards <= 0 {
 		return fmt.Errorf("index %q: rebucket: shard count must be positive, got %d", ix.meta.Name, shards)
 	}
-	fresh := newShards(shards, lsh)
+	fresh := newShards(shards, lsh, ix.meta.SignatureSize, ix.bits)
+	sig := make([]uint64, 0, ix.meta.SignatureSize)
 	for _, old := range ix.shards {
-		for _, s := range old.sketches {
-			fresh[shardFor(s.Name, shards)].add(s)
+		for i, name := range old.names {
+			sig = old.arena.appendUnpacked(sig[:0], i)
+			fresh[shardFor(name, shards)].add(&Sketch{
+				Name:      name,
+				K:         ix.meta.K,
+				Shingles:  int(old.shingles[i]),
+				Scheme:    ix.meta.Scheme,
+				Signature: sig,
+			})
 		}
 	}
 	ix.shards = fresh
@@ -302,7 +350,9 @@ func (ix *Index) Rebucket(lsh LSHParams, shards int) error {
 
 // indexFile is the JSON serialization of an Index. Band postings are
 // not serialized; they are derived from the signatures and rebuilt on
-// load.
+// load. Signatures are written as per-slot values (truncated to the
+// packing width for b-bit indexes) so files stay debuggable and
+// format-stable across packing layouts.
 type indexFile struct {
 	Meta     Metadata  `json:"meta"`
 	Sketches []*Sketch `json:"sketches"`
@@ -313,10 +363,11 @@ func (ix *Index) Save(w io.Writer) error {
 	ix.mu.RLock()
 	meta := ix.meta
 	meta.Format = CurrentFormat
+	meta.Bits = ix.bits
 	f := indexFile{Meta: meta, Sketches: make([]*Sketch, 0, len(ix.order))}
 	shards := ix.shards
 	for _, n := range ix.order {
-		f.Sketches = append(f.Sketches, shards[shardFor(n, len(shards))].get(n))
+		f.Sketches = append(f.Sketches, shards[shardFor(n, len(shards))].getSketch(n, meta.K, meta.Scheme))
 	}
 	ix.mu.RUnlock()
 	enc := json.NewEncoder(w)
@@ -363,6 +414,7 @@ func (ix *Index) SaveFile(path string) (err error) {
 // LoadIndex reads an index previously written by Save. Format v1 files
 // (no format field) load with the default banding scheme and shard
 // count; v1 and v2 files predate sketch schemes and load as legacy KMH;
+// v1–v3 files predate packing and load into full-width 64-bit arenas;
 // files written by a newer engine are rejected. Every loaded sketch is
 // stamped with the index scheme, so mixed-scheme comparisons fail even
 // on sketches pulled out of the index directly.
@@ -379,14 +431,16 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		lsh    LSHParams
 		shards int
 		scheme Scheme
+		bits   int
 		err    error
 	)
+	bits = DefaultBits // v1–v3 predate packing
 	switch f.Meta.Format {
 	case 0, FormatV1: // v1 files predate the format field
 		lsh = DefaultLSHParams(f.Meta.SignatureSize)
 		shards = DefaultShards
 		scheme = SchemeKMH
-	case FormatV2, FormatV3:
+	case FormatV2, FormatV3, FormatV4:
 		if lsh, err = NewLSHParams(f.Meta.Bands, f.Meta.RowsPerBand, f.Meta.SignatureSize); err != nil {
 			return nil, fmt.Errorf("index: invalid metadata: %w", err)
 		}
@@ -402,6 +456,11 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		default:
 			return nil, fmt.Errorf("index: invalid metadata: unknown scheme %q", f.Meta.Scheme)
 		}
+		if f.Meta.Format == FormatV4 {
+			if bits, err = validBits(f.Meta.Bits); err != nil {
+				return nil, fmt.Errorf("index: invalid metadata: %w", err)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("index: format %d is newer than this engine supports (max %d)",
 			f.Meta.Format, CurrentFormat)
@@ -409,10 +468,17 @@ func LoadIndex(r io.Reader) (*Index, error) {
 	meta := f.Meta
 	meta.Format = CurrentFormat
 	meta.Scheme = scheme
+	meta.Bits = bits
 	meta.Bands = lsh.Bands
 	meta.RowsPerBand = lsh.RowsPerBand
 	meta.Shards = shards
-	ix := &Index{meta: meta, shards: newShards(shards, lsh), lsh: lsh}
+	ix := &Index{
+		meta:   meta,
+		shards: newShards(shards, lsh, meta.SignatureSize, bits),
+		lsh:    lsh,
+		bits:   bits,
+	}
+	mask := laneMask(bits)
 	for _, s := range f.Sketches {
 		if s == nil {
 			return nil, fmt.Errorf("index: null sketch entry")
@@ -427,6 +493,16 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		if len(s.Signature) != f.Meta.SignatureSize {
 			return nil, fmt.Errorf("index: sketch %q signature size %d does not match metadata %d",
 				s.Name, len(s.Signature), f.Meta.SignatureSize)
+		}
+		if bits < 64 {
+			// A b-bit file must carry b-bit values; anything wider means
+			// the file was corrupted or mislabeled.
+			for _, v := range s.Signature {
+				if v&^mask != 0 {
+					return nil, fmt.Errorf("index: sketch %q slot value %d exceeds the %d-bit packing width",
+						s.Name, v, bits)
+				}
+			}
 		}
 		s.Scheme = scheme
 		if !ix.shards[shardFor(s.Name, shards)].add(s) {

@@ -150,21 +150,22 @@ func TestLoadV1IndexRoundTrip(t *testing.T) {
 	if err := ix.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(buf.Bytes(), []byte(`"format":3`)) ||
-		!bytes.Contains(buf.Bytes(), []byte(`"scheme":"kmh"`)) {
-		t.Fatalf("re-saved v1 index is not format 3 with an explicit scheme: %s", buf.String())
+	if !bytes.Contains(buf.Bytes(), []byte(`"format":4`)) ||
+		!bytes.Contains(buf.Bytes(), []byte(`"scheme":"kmh"`)) ||
+		!bytes.Contains(buf.Bytes(), []byte(`"bits":64`)) {
+		t.Fatalf("re-saved v1 index is not format 4 with an explicit scheme and packing width: %s", buf.String())
 	}
 	got, err := LoadIndex(&buf)
 	if err != nil {
-		t.Fatalf("reload v3: %v", err)
+		t.Fatalf("reload v4: %v", err)
 	}
 	gotMeta := got.Metadata()
-	if gotMeta.Format != CurrentFormat || gotMeta.Scheme != SchemeKMH || gotMeta.Bands != def.Bands ||
-		gotMeta.RowsPerBand != def.RowsPerBand || gotMeta.Shards != DefaultShards {
-		t.Fatalf("v3 round trip metadata = %+v", gotMeta)
+	if gotMeta.Format != CurrentFormat || gotMeta.Scheme != SchemeKMH || gotMeta.Bits != 64 ||
+		gotMeta.Bands != def.Bands || gotMeta.RowsPerBand != def.RowsPerBand || gotMeta.Shards != DefaultShards {
+		t.Fatalf("v4 round trip metadata = %+v", gotMeta)
 	}
 	if !gotMeta.CreatedAt.Equal(meta.CreatedAt) || got.Len() != 2 {
-		t.Fatalf("v3 round trip lost data: %+v len=%d", gotMeta, got.Len())
+		t.Fatalf("v4 round trip lost data: %+v len=%d", gotMeta, got.Len())
 	}
 }
 
@@ -199,6 +200,112 @@ func TestLoadV2IndexAsKMH(t *testing.T) {
 	}
 	if _, err := SearchTopK(ix, oph, 3, 0, nil); err == nil || !strings.Contains(err.Error(), "scheme") {
 		t.Fatalf("searching a KMH index with an OPH query: err = %v, want scheme mismatch", err)
+	}
+}
+
+// TestSaveLoadRoundTripPackedWidths round-trips a populated index
+// through Save/Load at every packing width: metadata (including bits),
+// reconstructed signatures, and search results must all survive.
+func TestSaveLoadRoundTripPackedWidths(t *testing.T) {
+	for _, bits := range []int{64, 16, 8} {
+		t.Run(fmt.Sprintf("bits=%d", bits), func(t *testing.T) {
+			eng, err := NewEngine(Options{IndexName: "rt", Bits: bits})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				rec := Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(512, int64(i+1))}
+				if _, err := eng.Add(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ix := eng.Index()
+			q := eng.Sketcher().Sketch(Record{Name: "q", Data: benchData(512, 1)})
+			before, err := SearchTopK(ix, q, 10, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var buf bytes.Buffer
+			if err := ix.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadIndex(&buf)
+			if err != nil {
+				t.Fatalf("load bits=%d: %v", bits, err)
+			}
+			gm := got.Metadata()
+			if gm.Format != CurrentFormat || gm.Bits != bits || gm.RecordCount != 50 {
+				t.Fatalf("metadata = %+v, want format=%d bits=%d records=50", gm, CurrentFormat, bits)
+			}
+			if got.Bits() != bits {
+				t.Fatalf("Bits() = %d, want %d", got.Bits(), bits)
+			}
+			for _, name := range ix.Names() {
+				if !equalSig(got.Get(name).Signature, ix.Get(name).Signature) {
+					t.Fatalf("bits=%d: sketch %q changed across round trip", bits, name)
+				}
+			}
+			after, err := SearchTopK(got, q, 10, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(before) != len(after) {
+				t.Fatalf("bits=%d: result count changed across round trip: %d vs %d", bits, len(before), len(after))
+			}
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("bits=%d result %d changed: %+v vs %+v", bits, i, before[i], after[i])
+				}
+			}
+			// Arena footprint survives too: bytes/record is the packed
+			// width, not the full-width 1KB.
+			if got.Arena().BytesPerRecord != float64(DefaultSignatureSize*bits/8) {
+				t.Fatalf("bits=%d loaded bytes/record = %v", bits, got.Arena().BytesPerRecord)
+			}
+		})
+	}
+}
+
+// TestLoadV3IndexIntoArena: v3 files predate packing and must load into
+// a full-width 64-bit arena with signatures and search behavior
+// unchanged.
+func TestLoadV3IndexIntoArena(t *testing.T) {
+	const v3 = `{"meta":{"name":"v3db","version":"0.4.0","format":3,"created_at":"2026-01-02T03:04:05Z","updated_at":"2026-01-02T03:04:05Z","record_count":2,"k":4,"signature_size":8,"scheme":"oph","bands":2,"rows_per_band":4,"shards":4},"sketches":[{"name":"a","k":4,"shingles":3,"signature":[1,2,3,4,5,6,7,8]},{"name":"b","k":4,"shingles":3,"signature":[1,2,3,4,9,9,9,9]}]}`
+	ix, err := LoadIndex(bytes.NewReader([]byte(v3)))
+	if err != nil {
+		t.Fatalf("load v3: %v", err)
+	}
+	meta := ix.Metadata()
+	if meta.Format != CurrentFormat || meta.Bits != 64 || meta.Scheme != SchemeOPH {
+		t.Fatalf("v3 metadata = %+v, want format=%d bits=64 scheme=oph", meta, CurrentFormat)
+	}
+	if got := ix.Get("a").Signature; !equalSig(got, []uint64{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("v3 signature loaded as %v", got)
+	}
+	// "a" and "b" share band 0 (rows 1,2,3,4): the rebuilt postings must
+	// make each a candidate of the other.
+	if res, err := SearchTopKLSH(ix, ix.Get("a"), 1, 0, nil); err != nil || len(res) != 1 || res[0].Ref != "b" {
+		t.Fatalf("v3 LSH search = %v, %v; want b", res, err)
+	}
+}
+
+// TestLoadV4RejectsBadBits: a v4 file must carry a supported packing
+// width, and b-bit files whose slot values exceed the width are corrupt.
+func TestLoadV4RejectsBadBits(t *testing.T) {
+	for name, payload := range map[string]string{
+		"bad bits":        `{"meta":{"name":"x","format":4,"k":4,"signature_size":2,"scheme":"oph","bits":12,"bands":1,"rows_per_band":2,"shards":4},"sketches":[]}`,
+		"value too wide":  `{"meta":{"name":"x","format":4,"k":4,"signature_size":2,"scheme":"oph","bits":8,"bands":1,"rows_per_band":2,"shards":4},"sketches":[{"name":"a","k":4,"shingles":1,"signature":[1,256]}]}`,
+		"value too wide2": `{"meta":{"name":"x","format":4,"k":4,"signature_size":2,"scheme":"oph","bits":16,"bands":1,"rows_per_band":2,"shards":4},"sketches":[{"name":"a","k":4,"shingles":1,"signature":[65536,1]}]}`,
+	} {
+		if _, err := LoadIndex(bytes.NewReader([]byte(payload))); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	// The in-range twin of the corrupt files loads fine.
+	const ok = `{"meta":{"name":"x","format":4,"k":4,"signature_size":2,"scheme":"oph","bits":8,"bands":1,"rows_per_band":2,"shards":4},"sketches":[{"name":"a","k":4,"shingles":1,"signature":[1,255]}]}`
+	if _, err := LoadIndex(bytes.NewReader([]byte(ok))); err != nil {
+		t.Errorf("in-range 8-bit file rejected: %v", err)
 	}
 }
 

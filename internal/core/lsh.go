@@ -47,39 +47,46 @@ func (p LSHParams) Threshold() float64 {
 	return math.Pow(1/float64(p.Bands), 1/float64(p.RowsPerBand))
 }
 
-// bandKey hashes band `band` of sig into a bucket key. The band index
-// is folded in so identical row values in different bands do not
-// collide into one bucket.
-func (p LSHParams) bandKey(band int, sig []uint64) uint64 {
+// bandKey hashes band `band` of sig into a bucket key, masking every
+// slot value to the index's packing width first so queries (which carry
+// full-width signatures) and packed index rows agree on their buckets.
+// The band index is folded in so identical row values in different
+// bands do not collide into one bucket. At full width the mask is all
+// ones and keys are identical to the pre-arena format.
+func (p LSHParams) bandKey(band int, sig []uint64, mask uint64) uint64 {
 	h := mix64(uint64(band)*0x9e3779b97f4a7c15 + 0x8445d61a4e774912)
 	for _, v := range sig[band*p.RowsPerBand : (band+1)*p.RowsPerBand] {
-		h = mix64(h ^ v)
+		h = mix64(h ^ (v & mask))
 	}
 	return h
 }
 
 // bandIndex is the posting structure of one shard: for every band, a
-// map from bucket key to the names of records whose signature hashed
-// there. It is not internally locked; the owning shard serializes
-// access.
+// map from bucket key to the shard-local record indexes whose signature
+// hashed there. Postings are int32 arena row indexes rather than names:
+// a quarter the memory of string headers and a direct pointer into the
+// shard's arena on the probe side. It is not internally locked; the
+// owning shard serializes access.
 type bandIndex struct {
 	params  LSHParams
-	buckets []map[uint64][]string
+	buckets []map[uint64][]int32
 }
 
 func newBandIndex(p LSHParams) *bandIndex {
-	b := &bandIndex{params: p, buckets: make([]map[uint64][]string, p.Bands)}
+	b := &bandIndex{params: p, buckets: make([]map[uint64][]int32, p.Bands)}
 	for i := range b.buckets {
-		b.buckets[i] = make(map[uint64][]string)
+		b.buckets[i] = make(map[uint64][]int32)
 	}
 	return b
 }
 
-// add inserts name into the bucket of every band of sig. The probe
-// side lives in shard.appendCandidates, which walks the same buckets.
-func (bi *bandIndex) add(name string, sig []uint64) {
+// add inserts record index idx into the bucket of every band of sig
+// (full-width slot values; mask truncates them to the packing width).
+// The probe side lives in shard.probeCandidates, which walks the same
+// buckets.
+func (bi *bandIndex) add(idx int32, sig []uint64, mask uint64) {
 	for band := 0; band < bi.params.Bands; band++ {
-		key := bi.params.bandKey(band, sig)
-		bi.buckets[band][key] = append(bi.buckets[band][key], name)
+		key := bi.params.bandKey(band, sig, mask)
+		bi.buckets[band][key] = append(bi.buckets[band][key], idx)
 	}
 }

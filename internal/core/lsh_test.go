@@ -85,26 +85,53 @@ func TestLSHThreshold(t *testing.T) {
 
 func TestBandKeyDependsOnBandAndRows(t *testing.T) {
 	p := LSHParams{Bands: 4, RowsPerBand: 2}
+	full := ^uint64(0)
 	sig := []uint64{1, 2, 1, 2, 1, 2, 9, 2}
 	// Bands 0, 1 and 2 hold identical rows; the band index must still
 	// separate their buckets.
-	if p.bandKey(0, sig) != p.bandKey(0, sig) {
+	if p.bandKey(0, sig, full) != p.bandKey(0, sig, full) {
 		t.Fatal("bandKey is not deterministic")
 	}
-	if p.bandKey(0, sig) == p.bandKey(1, sig) {
+	if p.bandKey(0, sig, full) == p.bandKey(1, sig, full) {
 		t.Fatal("identical rows in different bands must hash to different keys")
 	}
 	// Band 3 differs from band 0 in one row and must (with overwhelming
 	// probability) get a different key.
 	other := []uint64{1, 2, 1, 2, 1, 2, 1, 2}
-	if p.bandKey(3, sig) == p.bandKey(3, other) {
+	if p.bandKey(3, sig, full) == p.bandKey(3, other, full) {
 		t.Fatal("different rows hashed to the same band key")
+	}
+	// Masked keys see only the low lanes: values differing above the
+	// mask land in the same bucket (that is what lets full-width query
+	// signatures probe a b-bit index), values differing below do not.
+	m8 := laneMask(8)
+	high := []uint64{1 | 5<<8, 2, 1, 2, 1, 2, 9, 2} // differs from sig only above bit 8
+	if p.bandKey(0, sig, m8) != p.bandKey(0, high, m8) {
+		t.Fatal("8-bit mask: high-bit difference changed the band key")
+	}
+	low := []uint64{3, 2, 1, 2, 1, 2, 9, 2}
+	if p.bandKey(0, sig, m8) == p.bandKey(0, low, m8) {
+		t.Fatal("8-bit mask: low-bit difference did not change the band key")
 	}
 }
 
-func TestShardAppendCandidates(t *testing.T) {
+// probeNames runs a candidate probe for sig against sh and returns the
+// candidate record names.
+func probeNames(sh *shard, sig []uint64) map[string]bool {
+	q := &packedQuery{name: "probe", shingles: 1, slots: len(sig), sig: sig,
+		packed: packSignatureAppend(nil, sig, sh.arena.bits)}
+	var sc shardScratch
+	sh.probeCandidates(q, &sc)
+	got := map[string]bool{}
+	for _, idx := range sc.cands {
+		got[sh.names[idx]] = true
+	}
+	return got
+}
+
+func TestShardProbeCandidates(t *testing.T) {
 	p := LSHParams{Bands: 2, RowsPerBand: 2}
-	sh := newShard(p)
+	sh := newShard(p, 4, 64)
 	a := []uint64{1, 2, 3, 4}
 	b := []uint64{1, 2, 9, 9} // shares band 0 with a
 	c := []uint64{7, 7, 7, 7} // shares nothing
@@ -114,11 +141,7 @@ func TestShardAppendCandidates(t *testing.T) {
 		}
 	}
 
-	seen := make(map[string]struct{})
-	got := map[string]bool{}
-	for _, s := range sh.appendCandidates(a, seen, nil) {
-		got[s.Name] = true
-	}
+	got := probeNames(sh, a)
 	if !got["a"] {
 		t.Error("a must be a candidate of its own signature")
 	}
@@ -128,10 +151,17 @@ func TestShardAppendCandidates(t *testing.T) {
 	if got["c"] {
 		t.Error("c shares no band with a and must not be a candidate")
 	}
-	// A second probe reusing the same seen map must append nothing new:
-	// the dedup set spans probes until the caller clears it.
-	if again := sh.appendCandidates(a, seen, nil); len(again) != 0 {
-		t.Errorf("re-probe with warm seen map appended %d candidates, want 0", len(again))
+	// An 8-bit shard must reach the same candidate set from the same
+	// full-width probe signature: band keys are masked on both sides.
+	sh8 := newShard(p, 4, 8)
+	for name, sig := range map[string][]uint64{"a": a, "b": b, "c": c} {
+		if !sh8.add(&Sketch{Name: name, K: 2, Shingles: 1, Signature: sig}) {
+			t.Fatalf("add %q to 8-bit shard failed", name)
+		}
+	}
+	got8 := probeNames(sh8, a)
+	if !got8["a"] || !got8["b"] || got8["c"] {
+		t.Errorf("8-bit shard candidates = %v, want a and b only", got8)
 	}
 }
 

@@ -30,37 +30,90 @@ func ParseSearchMode(s string) (SearchMode, error) {
 	}
 }
 
-// parallelScoreMin is the candidate count below which scoring runs
-// inline instead of fanning out over the pool: spawning workers costs
-// a few goroutine wakeups and closure allocations, which the word-packed
-// comparator out-runs until the corpus is several thousand sketches.
-// Keeping small scans inline is also what makes steady-state SearchTopK
+// parallelScoreMin is the comparison count below which scoring runs
+// inline instead of fanning out per shard over the pool. Per-shard
+// fan-out spawns at most one goroutine per stripe (not one task per
+// record, as the pre-arena path did), so the break-even sits far lower
+// than the old 4096: a few hundred arena rows already out-cost the
+// shard count's worth of goroutine wakeups on a multicore box. Keeping
+// small scans inline is also what makes steady-state SearchTopK
 // allocation-free.
-const parallelScoreMin = 4096
+const parallelScoreMin = 512
 
-// searchBuf holds the scratch state of one top-K search: the candidate
-// slice, the scored results, and the LSH dedup set. Buffers are pooled
-// and reused across searches, so a steady-state search allocates only
-// the result slice it returns.
-type searchBuf struct {
-	refs    []*Sketch
-	rest    []*Sketch
+// packedQuery is one query sketch prepared for arena scans: the
+// full-width signature (band probes mask it themselves) plus the same
+// signature packed to the index's width for word-parallel row
+// comparisons.
+type packedQuery struct {
+	name     string
+	shingles int
+	slots    int
+	sig      []uint64 // full-width, for LSH band keys
+	packed   []uint64 // arena-width row image
+}
+
+// shardScratch is the per-shard scratch of one query: the candidate
+// bitset and index list filled by the LSH probe, and the shard's local
+// result buffer for parallel scans.
+type shardScratch struct {
+	candSet []uint64 // bitset over shard-local record indexes
+	cands   []int32
 	results []Result
-	seen    map[string]struct{}
 }
 
-var searchBufPool = sync.Pool{
-	New: func() any { return &searchBuf{seen: make(map[string]struct{})} },
+// resetFor clears the scratch for a shard currently holding n records.
+func (sc *shardScratch) resetFor(n int) {
+	words := (n + 63) >> 6
+	if cap(sc.candSet) < words {
+		sc.candSet = make([]uint64, words)
+	} else {
+		sc.candSet = sc.candSet[:words]
+		clear(sc.candSet)
+	}
+	sc.cands = sc.cands[:0]
 }
+
+// searchBuf holds the scratch state of one top-K search: the packed
+// query image, per-shard scratch, and the merged result buffer.
+// Buffers are pooled and reused across searches, so a steady-state
+// search allocates only the result slice it returns.
+type searchBuf struct {
+	q       packedQuery
+	packed  []uint64
+	merged  []Result
+	scratch []shardScratch
+}
+
+var searchBufPool = sync.Pool{New: func() any { return new(searchBuf) }}
 
 func getSearchBuf() *searchBuf { return searchBufPool.Get().(*searchBuf) }
 
 func putSearchBuf(b *searchBuf) {
-	b.refs = b.refs[:0]
-	b.rest = b.rest[:0]
-	b.results = b.results[:0]
-	clear(b.seen)
+	b.q = packedQuery{}
+	b.packed = b.packed[:0]
+	b.merged = b.merged[:0]
 	searchBufPool.Put(b)
+}
+
+// prepare packs the query for ix's arena width and sizes the per-shard
+// scratch.
+func (b *searchBuf) prepare(ix *Index, query *Sketch, shards int) *packedQuery {
+	b.packed = packSignatureAppend(b.packed[:0], query.Signature, ix.Bits())
+	b.q = packedQuery{
+		name:     query.Name,
+		shingles: query.Shingles,
+		slots:    len(query.Signature),
+		sig:      query.Signature,
+		packed:   b.packed,
+	}
+	if cap(b.scratch) < shards {
+		grown := make([]shardScratch, shards)
+		copy(grown, b.scratch)
+		b.scratch = grown
+	} else {
+		b.scratch = b.scratch[:shards]
+	}
+	return &b.q
 }
 
 // PairwiseDistances computes all n*(n-1)/2 distinct pairwise
@@ -80,17 +133,37 @@ func PairwiseDistances(sketches []*Sketch, pool *Pool) ([]Result, error) {
 	if pool == nil {
 		pool = NewPool(0)
 	}
-	// Workers pull whole rows of the upper triangle; row i owns the
-	// contiguous result range starting at its triangular offset, so no
-	// O(n^2) pair list is materialized. Dynamic row pull via Map's
-	// atomic counter balances the shrinking row lengths.
-	pool.Map(n-1, func(i int) {
-		a := sketches[i]
-		base := i * (2*n - i - 1) / 2
-		for j := i + 1; j < n; j++ {
-			b := sketches[j]
-			sim, _ := Similarity(a, b) // compatibility pre-checked above
-			results[base+j-i-1] = Result{Query: a.Name, Ref: b.Name, Similarity: sim, Distance: 1 - sim}
+	// Workers pull contiguous row ranges of the upper triangle, each
+	// range owning a contiguous result span, so no O(n^2) pair list is
+	// materialized. Row i holds n-1-i pairs, so equal row counts would
+	// give wildly uneven work; ranges are instead balanced by pair
+	// count, ~4 per worker, which bounds scheduling overhead while
+	// keeping the tail ranges from starving.
+	type rowRange struct{ lo, hi int }
+	total := n * (n - 1) / 2
+	chunks := 4 * pool.Workers()
+	if chunks > n-1 {
+		chunks = n - 1
+	}
+	target := (total + chunks - 1) / chunks
+	ranges := make([]rowRange, 0, chunks)
+	lo, acc := 0, 0
+	for i := 0; i < n-1; i++ {
+		acc += n - 1 - i
+		if acc >= target || i == n-2 {
+			ranges = append(ranges, rowRange{lo, i + 1})
+			lo, acc = i+1, 0
+		}
+	}
+	pool.Map(len(ranges), func(ci int) {
+		for i := ranges[ci].lo; i < ranges[ci].hi; i++ {
+			a := sketches[i]
+			base := i * (2*n - i - 1) / 2
+			for j := i + 1; j < n; j++ {
+				b := sketches[j]
+				sim, _ := Similarity(a, b) // compatibility pre-checked above
+				results[base+j-i-1] = Result{Query: a.Name, Ref: b.Name, Similarity: sim, Distance: 1 - sim}
+			}
 		}
 	})
 	sortResults(results)
@@ -102,17 +175,33 @@ func PairwiseDistances(sketches []*Sketch, pool *Pool) ([]Result, error) {
 // record that is the query itself — same name AND same signature — is
 // skipped so self-hits do not crowd out real neighbors. A same-named
 // record with different content (e.g. the file changed after indexing)
-// is still reported. Scratch state comes from a pool, so steady-state
-// calls allocate only the returned slice.
+// is still reported. Large corpora fan out one goroutine per shard:
+// each worker sweeps its stripe's packed arena sequentially, keeps a
+// bounded local top-K, and the survivors are merged. Scratch state
+// comes from a pool, so steady-state calls allocate only the returned
+// slice.
 func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
 	if err := checkSearchArgs(ix, query, topK); err != nil {
 		return nil, err
 	}
 	buf := getSearchBuf()
 	defer putSearchBuf(buf)
-	buf.refs = ix.appendAll(buf.refs[:0])
-	buf.results = scoreAppend(buf.results[:0], buf.refs, query, minSim, pool)
-	return finishResults(buf.results, topK), nil
+	shards := ix.snapshotShards()
+	q := buf.prepare(ix, query, len(shards))
+	p := parallelPool(pool, ix.Len())
+	if p == nil {
+		merged := buf.merged[:0]
+		for _, sh := range shards {
+			merged = sh.scanAppend(merged, q, minSim)
+		}
+		buf.merged = merged
+		return finishResults(merged, topK), nil
+	}
+	buf.merged = scanShardsParallel(buf, shards, q, topK, minSim, p,
+		func(sh *shard, sc *shardScratch) []Result {
+			return sh.scanAppend(sc.results[:0], q, minSim)
+		})
+	return finishResults(buf.merged, topK), nil
 }
 
 // SearchTopKLSH is the sub-linear counterpart of SearchTopK: it probes
@@ -124,23 +213,91 @@ func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) 
 // sparse indexes behave exactly like exact mode. When it does return a
 // full K, completeness is probabilistic: pairs with similarity well
 // above ix.LSHParams().Threshold() are candidates almost surely, pairs
-// well below it are skipped by design.
+// well below it are skipped by design. Candidate scoring and the
+// fallback sweep fan out per shard when the row count justifies it.
 func SearchTopKLSH(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
 	if err := checkSearchArgs(ix, query, topK); err != nil {
 		return nil, err
 	}
 	buf := getSearchBuf()
 	defer putSearchBuf(buf)
-	buf.refs = ix.appendLSHCandidates(query.Signature, buf.seen, buf.refs[:0])
-	buf.results = scoreAppend(buf.results[:0], buf.refs, query, minSim, pool)
-	if len(buf.results) < topK && len(buf.refs) < ix.Len() {
-		// Fallback: score only the records the candidate pass skipped
-		// (every candidate name is in buf.seen), so no sketch is scored
-		// twice and the merged set matches an exact scan.
-		buf.rest = ix.appendAllExcept(buf.seen, buf.rest[:0])
-		buf.results = scoreAppend(buf.results, buf.rest, query, minSim, pool)
+	shards := ix.snapshotShards()
+	q := buf.prepare(ix, query, len(shards))
+	// Probing is a handful of map lookups per shard; always inline.
+	totalCand := 0
+	for si, sh := range shards {
+		sh.probeCandidates(q, &buf.scratch[si])
+		totalCand += len(buf.scratch[si].cands)
 	}
-	return finishResults(buf.results, topK), nil
+	merged := buf.merged[:0]
+	if p := parallelPool(pool, totalCand); p == nil {
+		for si, sh := range shards {
+			merged = sh.scoreCandidates(merged, q, minSim, &buf.scratch[si])
+		}
+	} else {
+		buf.merged = merged
+		merged = scanShardsParallel(buf, shards, q, topK, minSim, p,
+			func(sh *shard, sc *shardScratch) []Result {
+				return sh.scoreCandidates(sc.results[:0], q, minSim, sc)
+			})
+	}
+	if n := ix.Len(); len(merged) < topK && totalCand < n {
+		// Fallback: score only the records the candidate pass skipped
+		// (each shard's bitset marks its probed rows), so no record is
+		// scored twice and the merged set matches an exact scan.
+		if p := parallelPool(pool, n-totalCand); p == nil {
+			for si, sh := range shards {
+				merged = sh.scanRestAppend(merged, q, minSim, &buf.scratch[si])
+			}
+		} else {
+			buf.merged = merged
+			merged = scanShardsParallel(buf, shards, q, topK, minSim, p,
+				func(sh *shard, sc *shardScratch) []Result {
+					return sh.scanRestAppend(sc.results[:0], q, minSim, sc)
+				})
+		}
+	}
+	buf.merged = merged
+	return finishResults(merged, topK), nil
+}
+
+// parallelPool decides whether a scan of `rows` comparisons is worth
+// fanning out: it returns the pool to fan out on (a nil pool keeps the
+// old GOMAXPROCS fan-out contract), or nil to scan inline.
+func parallelPool(pool *Pool, rows int) *Pool {
+	if rows < parallelScoreMin {
+		return nil
+	}
+	if pool == nil {
+		pool = NewPool(0)
+	}
+	if pool.Workers() <= 1 {
+		return nil
+	}
+	return pool
+}
+
+// scanShardsParallel runs scan once per shard on the pool — one
+// goroutine per stripe, each appending into its own scratch buffer and
+// truncating to a bounded top-K heap — then concatenates the survivors
+// onto buf.merged and returns it. The global top-K is contained in the
+// union of per-shard top-Ks, so truncating early keeps the merge and
+// final sort O(shards*topK) instead of O(rows).
+func scanShardsParallel(buf *searchBuf, shards []*shard, q *packedQuery, topK int,
+	minSim float64, pool *Pool, scan func(*shard, *shardScratch) []Result) []Result {
+	pool.Map(len(shards), func(si int) {
+		sc := &buf.scratch[si]
+		sc.results = scan(shards[si], sc)
+		if len(sc.results) > topK {
+			selectTopK(sc.results, topK)
+			sc.results = sc.results[:topK]
+		}
+	})
+	merged := buf.merged
+	for si := range shards {
+		merged = append(merged, buf.scratch[si].results...)
+	}
+	return merged
 }
 
 func checkSearchArgs(ix *Index, query *Sketch, topK int) error {
@@ -157,61 +314,6 @@ func checkSearchArgs(ix *Index, query *Sketch, topK int) error {
 			query.K, len(query.Signature), meta.Name, meta.K, meta.SignatureSize)
 	}
 	return nil
-}
-
-// scoreAppend exact-scores query against refs, appending results that
-// pass the self-hit and minSim filters to dst. Large ref sets fan out
-// over pool; small ones score inline, allocation-free. Compatibility of
-// refs with query must be pre-checked by the caller.
-func scoreAppend(dst []Result, refs []*Sketch, query *Sketch, minSim float64, pool *Pool) []Result {
-	if len(refs) == 0 {
-		return dst
-	}
-	base := len(dst)
-	if need := base + len(refs); cap(dst) < need {
-		grown := make([]Result, need)
-		copy(grown, dst)
-		dst = grown
-	} else {
-		dst = dst[:need]
-	}
-	if len(refs) >= parallelScoreMin {
-		if pool == nil {
-			pool = NewPool(0) // nil keeps the old GOMAXPROCS fan-out contract
-		}
-		pool.Map(len(refs), func(i int) {
-			scoreOne(dst, base+i, refs[i], query)
-		})
-	} else {
-		for i, ref := range refs {
-			scoreOne(dst, base+i, ref, query)
-		}
-	}
-	// Compact in place: the write index never passes the read index.
-	kept := dst[:base]
-	for _, r := range dst[base:] {
-		if r.Similarity >= 0 && r.Similarity >= minSim {
-			kept = append(kept, r)
-		}
-	}
-	return kept
-}
-
-// scoreOne scores one reference into dst[i], writing the Similarity=-1
-// sentinel for self-hits so the compaction pass drops them. It inlines
-// Similarity minus the compatibility checks, which checkSearchArgs
-// already ran once for the whole query — per-ref re-validation was
-// measurable at these per-comparison costs.
-func scoreOne(dst []Result, i int, ref, query *Sketch) {
-	if ref.Name == query.Name && sameSignature(ref, query) {
-		dst[i] = Result{Similarity: -1}
-		return
-	}
-	var sim float64
-	if n := len(query.Signature); n != 0 && query.Shingles != 0 && ref.Shingles != 0 {
-		sim = float64(matchingSlots(query.Signature, ref.Signature)) / float64(n)
-	}
-	dst[i] = Result{Query: query.Name, Ref: ref.Name, Similarity: sim, Distance: 1 - sim}
 }
 
 // finishResults reduces kept (which may alias a pooled buffer) to its
@@ -284,9 +386,4 @@ func siftWorstDown(h []Result, i int) {
 		h[i], h[w] = h[w], h[i]
 		i = w
 	}
-}
-
-func sameSignature(a, b *Sketch) bool {
-	return len(a.Signature) == len(b.Signature) &&
-		matchingSlots(a.Signature, b.Signature) == len(a.Signature)
 }

@@ -1,100 +1,187 @@
 package core
 
-import "sync"
+import (
+	"slices"
+	"sync"
+)
 
 // DefaultShards is the number of lock-striped shards an index uses
 // unless configured otherwise.
 const DefaultShards = 16
 
-// shard owns one stripe of the index: the sketches whose names hash to
-// it, plus the LSH band postings for those sketches. Each shard has its
-// own lock, so concurrent adds and candidate probes on different
-// stripes never contend.
+// shard owns one stripe of the index: the records whose names hash to
+// it, plus the LSH band postings for those records. Record signatures
+// live in a contiguous packed arena (see sigArena) addressed by a
+// shard-local record index, so exact scans are cache-linear sweeps over
+// one buffer instead of a pointer chase per record. Each shard has its
+// own lock, so concurrent adds and scans on different stripes never
+// contend — and per-shard query fan-out scans stripes truly in
+// parallel.
 type shard struct {
 	mu       sync.RWMutex
-	sketches map[string]*Sketch
+	ids      map[string]int32 // record name -> arena row index
+	names    []string         // arena row index -> record name
+	shingles []int32          // arena row index -> shingle count
+	arena    *sigArena
 	bands    *bandIndex
+	mask     uint64 // lane mask caching laneMask(arena.bits)
 }
 
-func newShard(p LSHParams) *shard {
-	return &shard{sketches: make(map[string]*Sketch), bands: newBandIndex(p)}
+func newShard(p LSHParams, slots, bits int) *shard {
+	return &shard{
+		ids:   make(map[string]int32),
+		arena: newSigArena(slots, bits),
+		bands: newBandIndex(p),
+		mask:  laneMask(bits),
+	}
 }
 
-func newShards(n int, p LSHParams) []*shard {
+func newShards(n int, p LSHParams, slots, bits int) []*shard {
 	shards := make([]*shard, n)
 	for i := range shards {
-		shards[i] = newShard(p)
+		shards[i] = newShard(p, slots, bits)
 	}
 	return shards
 }
 
-// add inserts s unless a sketch with the same name is already present;
-// it reports whether the insert happened.
+// add packs s's signature onto the arena unless a record with the same
+// name is already present; it reports whether the insert happened.
 func (sh *shard) add(s *Sketch) bool {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, exists := sh.sketches[s.Name]; exists {
+	if _, exists := sh.ids[s.Name]; exists {
 		return false
 	}
-	sh.sketches[s.Name] = s
-	sh.bands.add(s.Name, s.Signature)
+	idx := int32(sh.arena.appendSig(s.Signature))
+	sh.ids[s.Name] = idx
+	sh.names = append(sh.names, s.Name)
+	sh.shingles = append(sh.shingles, int32(s.Shingles))
+	sh.bands.add(idx, s.Signature, sh.mask)
 	return true
 }
 
-// size returns the number of sketches in this stripe.
+// size returns the number of records in this stripe.
 func (sh *shard) size() int {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return len(sh.sketches)
+	return len(sh.names)
 }
 
-// get returns the sketch named name, or nil.
-func (sh *shard) get(name string) *Sketch {
+// has reports whether a record named name is present, without
+// reconstructing its sketch.
+func (sh *shard) has(name string) bool {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.sketches[name]
+	_, ok := sh.ids[name]
+	return ok
 }
 
-// appendAll appends every sketch in this stripe to buf.
-func (sh *shard) appendAll(buf []*Sketch) []*Sketch {
+// getSketch reconstructs the sketch named name from the arena, or
+// returns nil. At packing widths below 64 the slot values are the
+// stored truncated lanes, not the original full-width minhashes (those
+// are gone by design). k and scheme come from the index metadata.
+func (sh *shard) getSketch(name string, k int, scheme Scheme) *Sketch {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	for _, s := range sh.sketches {
-		buf = append(buf, s)
+	idx, ok := sh.ids[name]
+	if !ok {
+		return nil
 	}
-	return buf
-}
-
-// appendAllExcept appends every sketch in this stripe whose name is not
-// in skip.
-func (sh *shard) appendAllExcept(skip map[string]struct{}, buf []*Sketch) []*Sketch {
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	for name, s := range sh.sketches {
-		if _, ok := skip[name]; !ok {
-			buf = append(buf, s)
-		}
+	return &Sketch{
+		Name:      name,
+		K:         k,
+		Shingles:  int(sh.shingles[idx]),
+		Scheme:    scheme,
+		Signature: sh.arena.appendUnpacked(make([]uint64, 0, sh.arena.slots), int(idx)),
 	}
-	return buf
 }
 
-// appendCandidates appends the sketches in this shard sharing at least
-// one LSH band bucket with sig, deduplicating through the caller-owned
-// seen map so names hit by several bands are appended once.
-func (sh *shard) appendCandidates(sig []uint64, seen map[string]struct{}, buf []*Sketch) []*Sketch {
+// arenaBytes returns this stripe's (used, capacity) signature bytes.
+func (sh *shard) arenaBytes() (used, capacity int64) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	return sh.arena.usedBytes(), sh.arena.capBytes()
+}
+
+// scanAppend exact-scores q against every record in this stripe,
+// appending results that pass the self-hit and minSim filters to dst.
+// The walk is a sequential sweep over the packed arena — the
+// cache-linear inner loop the arena layout exists for.
+func (sh *shard) scanAppend(dst []Result, q *packedQuery, minSim float64) []Result {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for i := range sh.names {
+		dst = sh.scoreRow(dst, q, minSim, int32(i))
+	}
+	return dst
+}
+
+// probeCandidates gathers the shard-local record indexes sharing at
+// least one LSH band bucket with q's signature into sc.cands, deduped
+// through sc's candidate bitset (indexes hit by several bands appear
+// once). The bitset is retained so a later scanRestAppend can score
+// exactly the complement.
+func (sh *shard) probeCandidates(q *packedQuery, sc *shardScratch) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sc.resetFor(len(sh.names))
 	bi := sh.bands
 	for band := 0; band < bi.params.Bands; band++ {
-		for _, name := range bi.buckets[band][bi.params.bandKey(band, sig)] {
-			if _, dup := seen[name]; dup {
+		for _, idx := range bi.buckets[band][bi.params.bandKey(band, q.sig, sh.mask)] {
+			if sc.candSet[idx>>6]&(1<<uint(idx&63)) != 0 {
 				continue
 			}
-			seen[name] = struct{}{}
-			buf = append(buf, sh.sketches[name])
+			sc.candSet[idx>>6] |= 1 << uint(idx&63)
+			sc.cands = append(sc.cands, idx)
 		}
 	}
-	return buf
+}
+
+// scoreCandidates scores the indexes probeCandidates collected.
+func (sh *shard) scoreCandidates(dst []Result, q *packedQuery, minSim float64, sc *shardScratch) []Result {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, idx := range sc.cands {
+		dst = sh.scoreRow(dst, q, minSim, idx)
+	}
+	return dst
+}
+
+// scanRestAppend scores every record NOT marked in sc's candidate
+// bitset — the LSH fallback's complement pass, so no record is scored
+// twice and the merged set matches an exact scan. Records added after
+// the probe (concurrent ingest) sit past the bitset and count as
+// unprobed.
+func (sh *shard) scanRestAppend(dst []Result, q *packedQuery, minSim float64, sc *shardScratch) []Result {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	probed := len(sc.candSet) << 6
+	for i := range sh.names {
+		if i < probed && sc.candSet[i>>6]&(1<<uint(i&63)) != 0 {
+			continue
+		}
+		dst = sh.scoreRow(dst, q, minSim, int32(i))
+	}
+	return dst
+}
+
+// scoreRow scores one arena row against q, appending the result unless
+// it is a self-hit (same name AND same packed signature — a same-named
+// record whose content changed after indexing is still reported) or
+// falls below minSim. Callers hold the shard lock.
+func (sh *shard) scoreRow(dst []Result, q *packedQuery, minSim float64, idx int32) []Result {
+	row := sh.arena.row(int(idx))
+	if sh.names[idx] == q.name && slices.Equal(q.packed, row) {
+		return dst
+	}
+	var sim float64
+	if q.slots != 0 && q.shingles != 0 && sh.shingles[idx] != 0 {
+		sim = float64(packedMatchingSlots(q.packed, row, q.slots, sh.arena.bits)) / float64(q.slots)
+	}
+	if sim >= minSim {
+		dst = append(dst, Result{Query: q.name, Ref: sh.names[idx], Similarity: sim, Distance: 1 - sim})
+	}
+	return dst
 }
 
 // shardFor maps a record name onto one of n stripes with FNV-1a.

@@ -131,25 +131,38 @@ func (s *Sketcher) Scheme() Scheme { return s.scheme }
 // produce zero shingles and an empty (all-max) signature; such sketches
 // compare as dissimilar to everything, including each other.
 func (s *Sketcher) Sketch(rec Record) *Sketch {
-	if s.scheme == SchemeKMH {
-		return s.sketchKMH(rec)
-	}
-	return s.sketchOPH(rec)
+	sig := make([]uint64, s.sigSize)
+	shingles := s.SketchInto(sig, rec)
+	return &Sketch{Name: rec.Name, K: s.k, Shingles: shingles, Scheme: s.scheme, Signature: sig}
 }
 
-// sketchOPH hashes each shingle once and routes it to slot
+// SketchInto is the emit-into-buffer form of Sketch: it writes rec's
+// signature into sig — whose length must be SignatureSize — and returns
+// the shingle count, allocating nothing. It is the building block of
+// zero-alloc pipelines that sketch straight into pooled buffers or a
+// packed arena row.
+func (s *Sketcher) SketchInto(sig []uint64, rec Record) int {
+	if len(sig) != s.sigSize {
+		panic(fmt.Sprintf("sketch: SketchInto buffer has %d slots, want %d", len(sig), s.sigSize))
+	}
+	if s.scheme == SchemeKMH {
+		return s.sketchKMHInto(sig, rec.Data)
+	}
+	return s.sketchOPHInto(sig, rec.Data)
+}
+
+// sketchOPHInto hashes each shingle once and routes it to slot
 // floor(h * sigSize / 2^64) — the high bits of h, equal to
 // h >> (64 - log2(sigSize)) when sigSize is a power of two — keeping
 // the per-slot minimum. Empty slots are then densified by rotation so
 // sparse records still compare correctly. The rolling hash is inlined
 // rather than shared through eachShingleHash because the per-byte
 // closure call costs ~25% of the whole pipeline at these speeds.
-func (s *Sketcher) sketchOPH(rec Record) *Sketch {
-	sig := make([]uint64, s.sigSize)
+func (s *Sketcher) sketchOPHInto(sig []uint64, data []byte) int {
 	for i := range sig {
 		sig[i] = emptySlot
 	}
-	data, k := rec.Data, s.k
+	k := s.k
 	shingles := 0
 	if len(data) >= k {
 		shingles = len(data) - k + 1
@@ -178,7 +191,7 @@ func (s *Sketcher) sketchOPH(rec Record) *Sketch {
 		}
 		densify(sig)
 	}
-	return &Sketch{Name: rec.Name, K: s.k, Shingles: shingles, Scheme: SchemeOPH, Signature: sig}
+	return shingles
 }
 
 // densify fills every empty OPH slot by rotation: an empty slot borrows
@@ -215,15 +228,14 @@ func densify(sig []uint64) {
 	}
 }
 
-// sketchKMH is the legacy Kirsch-Mitzenmacher path: every shingle
+// sketchKMHInto is the legacy Kirsch-Mitzenmacher path: every shingle
 // updates every slot, standing in for sigSize independent permutations.
-func (s *Sketcher) sketchKMH(rec Record) *Sketch {
-	sig := make([]uint64, s.sigSize)
+func (s *Sketcher) sketchKMHInto(sig []uint64, data []byte) int {
 	for i := range sig {
 		sig[i] = math.MaxUint64
 	}
 	shingles := 0
-	eachShingleHash(rec.Data, s.k, func(h uint64) {
+	eachShingleHash(data, s.k, func(h uint64) {
 		shingles++
 		// Kirsch-Mitzenmacher double hashing: slot i sees h1 + i*h2.
 		h1 := mix64(h)
@@ -236,7 +248,7 @@ func (s *Sketcher) sketchKMH(rec Record) *Sketch {
 			v += h2
 		}
 	})
-	return &Sketch{Name: rec.Name, K: s.k, Shingles: shingles, Scheme: SchemeKMH, Signature: sig}
+	return shingles
 }
 
 // eachShingleHash calls fn with a 64-bit hash of every k-byte window of

@@ -171,6 +171,16 @@ func TestIngestSearchRoundTrip(t *testing.T) {
 	if got := len(stats.Engine.ShardOccupancy); got != 4 {
 		t.Fatalf("shard occupancy has %d entries, want 4", got)
 	}
+	// Arena memory reporting: 4 records of 64 full-width slots is 4*512
+	// signature bytes, 512 bytes/record at 64-bit packing.
+	if stats.Engine.Bits != 64 || stats.Engine.SignatureBytes != 4*512 ||
+		stats.Engine.BytesPerRecord != 512 {
+		t.Fatalf("stats arena = bits=%d signature_bytes=%d bytes_per_record=%v, want 64/2048/512",
+			stats.Engine.Bits, stats.Engine.SignatureBytes, stats.Engine.BytesPerRecord)
+	}
+	if u := stats.Engine.ArenaUtilized; u <= 0 || u > 1 {
+		t.Fatalf("arena utilization = %v, want in (0,1]", u)
+	}
 }
 
 func TestErrorPaths(t *testing.T) {

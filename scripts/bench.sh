@@ -12,7 +12,7 @@
 #       Run a fresh pass and diff it against a committed baseline
 #       (default BENCH_baseline.json), printing a markdown table.
 #       Exits non-zero if any benchmark regresses by more than 25%
-#       ns/op against the baseline.
+#       in ns/op or bytes/rec against the baseline.
 #
 # Writing BENCH_baseline.json is refused from a dirty working tree, so
 # the committed baseline always matches the commit stamped into it.
@@ -50,18 +50,20 @@ BEGIN { n = 0 }
 /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1; iters = $2
-    ns = ""; bytes_op = ""; allocs = ""; mb_s = ""
+    ns = ""; bytes_op = ""; allocs = ""; mb_s = ""; bytes_rec = ""
     for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op")     ns = $i
         if ($(i+1) == "B/op")      bytes_op = $i
         if ($(i+1) == "allocs/op") allocs = $i
         if ($(i+1) == "MB/s")      mb_s = $i
+        if ($(i+1) == "bytes/rec") bytes_rec = $i
     }
     line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
-    if (ns != "")       line = line sprintf(", \"ns_per_op\": %s", ns)
-    if (mb_s != "")     line = line sprintf(", \"mb_per_s\": %s", mb_s)
-    if (bytes_op != "") line = line sprintf(", \"bytes_per_op\": %s", bytes_op)
-    if (allocs != "")   line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    if (ns != "")        line = line sprintf(", \"ns_per_op\": %s", ns)
+    if (mb_s != "")      line = line sprintf(", \"mb_per_s\": %s", mb_s)
+    if (bytes_rec != "") line = line sprintf(", \"bytes_per_record\": %s", bytes_rec)
+    if (bytes_op != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes_op)
+    if (allocs != "")    line = line sprintf(", \"allocs_per_op\": %s", allocs)
     results[n++] = line "}"
 }
 END {
@@ -80,43 +82,50 @@ END {
     echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)" >&2
 }
 
-# extract FILE — benchmark name/ns_per_op pairs, one per line, with the
-# GOMAXPROCS suffix stripped so runs from machines with different core
-# counts stay comparable.
+# extract FILE — benchmark name/metric/value triples, one per line,
+# with the GOMAXPROCS suffix stripped so runs from machines with
+# different core counts stay comparable. Covers both the time metric
+# (ns/op) and the memory metric (bytes/rec), so the compare step gates
+# speed and footprint regressions alike.
 extract() {
     awk -F'"' '/"name":/ {
         name = $4
         sub(/-[0-9]+$/, "", name)
         if (match($0, /"ns_per_op": [0-9.]+/))
-            print name "\t" substr($0, RSTART + 13, RLENGTH - 13)
+            print name "\tns/op\t" substr($0, RSTART + 13, RLENGTH - 13)
+        if (match($0, /"bytes_per_record": [0-9.]+/))
+            print name "\tbytes/rec\t" substr($0, RSTART + 20, RLENGTH - 20)
     }' "$1"
 }
 
-# compare BASELINE CURRENT — markdown diff table; exit 1 on >25% ns/op
-# regression in any benchmark present in both files.
+# compare BASELINE CURRENT — markdown diff table over every recorded
+# metric; exit 1 on a >25% regression (ns/op or bytes/rec) in any
+# benchmark present in both files.
 compare() {
     local baseline="$1" current="$2"
     awk -F'\t' '
-NR == FNR { base[$1] = $2; next }
-{ cur[$1] = $2; order[n++] = $1 }
+NR == FNR { base[$1 "|" $2] = $3; next }
+{ key = $1 "|" $2; cur[key] = $3; name[key] = $1; metric[key] = $2; order[n++] = key }
 END {
-    printf "| benchmark | baseline ns/op | current ns/op | delta |\n"
-    printf "|---|---:|---:|---:|\n"
+    printf "| benchmark | metric | baseline | current | delta |\n"
+    printf "|---|---|---:|---:|---:|\n"
     fail = 0
     for (i = 0; i < n; i++) {
-        name = order[i]
-        if (!(name in base)) {
-            printf "| %s | - | %s | new |\n", name, cur[name]
+        key = order[i]
+        if (!(key in base)) {
+            printf "| %s | %s | - | %s | new |\n", name[key], metric[key], cur[key]
             continue
         }
-        delta = (cur[name] - base[name]) / base[name] * 100
+        delta = (cur[key] - base[key]) / base[key] * 100
         mark = ""
-        if (cur[name] > base[name] * 1.25) { mark = " **REGRESSION**"; fail = 1 }
-        printf "| %s | %s | %s | %+.1f%%%s |\n", name, base[name], cur[name], delta, mark
+        if (cur[key] > base[key] * 1.25) { mark = " **REGRESSION**"; fail = 1 }
+        printf "| %s | %s | %s | %s | %+.1f%%%s |\n", name[key], metric[key], base[key], cur[key], delta, mark
     }
-    for (name in base)
-        if (!(name in cur))
-            printf "| %s | %s | - | removed |\n", name, base[name]
+    for (key in base)
+        if (!(key in cur)) {
+            split(key, parts, "|")
+            printf "| %s | %s | %s | - | removed |\n", parts[1], parts[2], base[key]
+        }
     exit fail
 }' <(extract "$baseline") <(extract "$current")
 }
@@ -134,10 +143,10 @@ if [[ "${1:-}" == "compare" ]]; then
     echo "### Benchmark comparison vs $baseline"
     if compare "$baseline" "$fresh"; then
         echo
-        echo "No >25% ns/op regressions."
+        echo "No >25% regressions (ns/op or bytes/rec)."
     else
         echo
-        echo "At least one benchmark regressed by >25% ns/op." >&2
+        echo "At least one benchmark regressed by >25% (ns/op or bytes/rec)." >&2
         exit 1
     fi
 else
