@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"slices"
+	"strings"
 	"testing"
 )
 
@@ -271,6 +272,52 @@ func plantedRecords(n, planted int, seed int64) ([]Record, []byte) {
 		recs = append(recs, Record{Name: fmt.Sprintf("rand-%d", i), Data: benchData(recBytes, seed+int64(i)+1000)})
 	}
 	return recs, base
+}
+
+// TestTruncatedSketchesDoNotMixWithFullWidth: a sketch read back from
+// a b-bit index holds truncated lanes; comparing, adding, or querying
+// it against full-width state must error rather than silently score
+// near-zero.
+func TestTruncatedSketchesDoNotMixWithFullWidth(t *testing.T) {
+	eng8, err := NewEngine(Options{IndexName: "p8", Bits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Name: "r", Data: benchData(512, 1)}
+	if _, err := eng8.Add(rec); err != nil {
+		t.Fatal(err)
+	}
+	trunc := eng8.Index().Get("r")
+	if trunc.Bits != 8 {
+		t.Fatalf("Get from 8-bit index: Bits = %d, want 8", trunc.Bits)
+	}
+	full := eng8.Sketcher().Sketch(rec)
+	if _, err := Similarity(trunc, full); err == nil || !strings.Contains(err.Error(), "slot widths") {
+		t.Fatalf("Similarity(truncated, full) err = %v, want mixed-slot-width error", err)
+	}
+	// Two sketches from the same packed index stay comparable — both
+	// sides hold the same truncated lanes.
+	if _, err := eng8.Add(Record{Name: "r2", Data: benchData(512, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if sim, err := Similarity(trunc, eng8.Index().Get("r2")); err != nil || sim != 1 {
+		t.Fatalf("Similarity within 8-bit index = %v, %v; want 1, nil", sim, err)
+	}
+	// A full-width index rejects the truncated sketch on add and search.
+	eng64, err := NewEngine(Options{IndexName: "p64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng64.Index().Add(trunc); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("Add truncated to 64-bit index err = %v, want packing-width error", err)
+	}
+	if _, err := SearchTopK(eng64.Index(), trunc, 3, 0, nil); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("search 64-bit index with truncated query err = %v, want packing-width error", err)
+	}
+	// And the truncated sketch still queries its own index fine.
+	if res, err := SearchTopK(eng8.Index(), trunc, 3, 0, nil); err != nil || len(res) != 1 || res[0].Ref != "r2" {
+		t.Fatalf("search 8-bit index with its own sketch = %v, %v; want r2", res, err)
+	}
 }
 
 func TestArenaStats(t *testing.T) {

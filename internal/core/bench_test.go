@@ -118,13 +118,14 @@ func BenchmarkSearchTopK(b *testing.B) {
 			}
 			b.Run(name, func(b *testing.B) {
 				pool := NewPool(threads)
-				b.ReportMetric(ix.Arena().BytesPerRecord, "bytes/rec")
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := SearchTopK(ix, q, 10, 0, pool); err != nil {
 						b.Fatal(err)
 					}
 				}
+				// After the loop: ResetTimer deletes user-reported metrics.
+				b.ReportMetric(ix.Arena().BytesPerRecord, "bytes/rec")
 			})
 		}
 	}
@@ -139,13 +140,14 @@ func BenchmarkPackedStore(b *testing.B) {
 		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
 			ix, q := benchIndex(b, 1000, bits)
 			pool := NewPool(0)
-			b.ReportMetric(ix.Arena().BytesPerRecord, "bytes/rec")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := SearchTopK(ix, q, 10, 0, pool); err != nil {
 					b.Fatal(err)
 				}
 			}
+			// After the loop: ResetTimer deletes user-reported metrics.
+			b.ReportMetric(ix.Arena().BytesPerRecord, "bytes/rec")
 		})
 	}
 }

@@ -116,9 +116,22 @@ func Distance(a, b *Sketch) (float64, error) {
 	return 1 - sim, nil
 }
 
+// normSketchBits resolves a sketch's zero Bits to full width: sketches
+// emitted by a Sketcher (and everything predating packed indexes)
+// carry full 64-bit minhash values.
+func normSketchBits(bits int) int {
+	if bits == 0 {
+		return 64
+	}
+	return bits
+}
+
 func compatible(a, b *Sketch) error {
 	if sa, sb := normScheme(a.Scheme), normScheme(b.Scheme); sa != sb {
 		return fmt.Errorf("sketch: mixed schemes: %q vs %q (re-sketch one side with a matching -scheme)", sa, sb)
+	}
+	if ba, bb := normSketchBits(a.Bits), normSketchBits(b.Bits); ba != bb {
+		return fmt.Errorf("sketch: mixed slot widths: %d-bit vs %d-bit (a sketch read back from a packed index holds truncated lanes; compare it only against sketches from the same index)", ba, bb)
 	}
 	if a.K != b.K {
 		return fmt.Errorf("sketch: incompatible k: %d vs %d", a.K, b.K)

@@ -161,6 +161,13 @@ func (ix *Index) Add(s *Sketch) (bool, error) {
 		return false, fmt.Errorf("index %q: signature size %d does not match index size %d",
 			ix.meta.Name, len(s.Signature), ix.meta.SignatureSize)
 	}
+	// Full-width sketches are always accepted (packing truncates them);
+	// a sketch already truncated to b bits only fits an index of the
+	// same width — repacking it elsewhere would store garbage lanes.
+	if b := normSketchBits(s.Bits); b != 64 && b != ix.bits {
+		return false, fmt.Errorf("index %q: sketch holds %d-bit truncated slots but the index packs at %d bits",
+			ix.meta.Name, b, ix.bits)
+	}
 	ix.mu.RLock()
 	shards := ix.shards
 	ix.mu.RUnlock()
@@ -336,6 +343,7 @@ func (ix *Index) Rebucket(lsh LSHParams, shards int) error {
 				K:         ix.meta.K,
 				Shingles:  int(old.shingles[i]),
 				Scheme:    ix.meta.Scheme,
+				Bits:      ix.bits,
 				Signature: sig,
 			})
 		}
@@ -505,6 +513,7 @@ func LoadIndex(r io.Reader) (*Index, error) {
 			}
 		}
 		s.Scheme = scheme
+		s.Bits = bits
 		if !ix.shards[shardFor(s.Name, shards)].add(s) {
 			return nil, fmt.Errorf("index: duplicate sketch name %q", s.Name)
 		}

@@ -118,8 +118,11 @@ func TestBandKeyDependsOnBandAndRows(t *testing.T) {
 // probeNames runs a candidate probe for sig against sh and returns the
 // candidate record names.
 func probeNames(sh *shard, sig []uint64) map[string]bool {
-	q := &packedQuery{name: "probe", shingles: 1, slots: len(sig), sig: sig,
+	q := &packedQuery{name: "probe", shingles: 1, slots: len(sig),
 		packed: packSignatureAppend(nil, sig, sh.arena.bits)}
+	for band := 0; band < sh.bands.params.Bands; band++ {
+		q.bandKeys = append(q.bandKeys, sh.bands.params.bandKey(band, sig, sh.mask))
+	}
 	var sc shardScratch
 	sh.probeCandidates(q, &sc)
 	got := map[string]bool{}

@@ -41,15 +41,17 @@ func ParseSearchMode(s string) (SearchMode, error) {
 const parallelScoreMin = 512
 
 // packedQuery is one query sketch prepared for arena scans: the
-// full-width signature (band probes mask it themselves) plus the same
 // signature packed to the index's width for word-parallel row
-// comparisons.
+// comparisons, plus (LSH searches only) the precomputed band bucket
+// keys — bandKey depends only on the query and the index-wide mask, so
+// computing the keys once instead of once per shard saves
+// (shards-1)*bands mix64 chains per probe.
 type packedQuery struct {
 	name     string
 	shingles int
 	slots    int
-	sig      []uint64 // full-width, for LSH band keys
 	packed   []uint64 // arena-width row image
+	bandKeys []uint64 // one bucket key per band; nil outside LSH probes
 }
 
 // shardScratch is the per-shard scratch of one query: the candidate
@@ -80,6 +82,7 @@ func (sc *shardScratch) resetFor(n int) {
 type searchBuf struct {
 	q       packedQuery
 	packed  []uint64
+	keys    []uint64
 	merged  []Result
 	scratch []shardScratch
 }
@@ -91,6 +94,7 @@ func getSearchBuf() *searchBuf { return searchBufPool.Get().(*searchBuf) }
 func putSearchBuf(b *searchBuf) {
 	b.q = packedQuery{}
 	b.packed = b.packed[:0]
+	b.keys = b.keys[:0]
 	b.merged = b.merged[:0]
 	searchBufPool.Put(b)
 }
@@ -98,12 +102,12 @@ func putSearchBuf(b *searchBuf) {
 // prepare packs the query for ix's arena width and sizes the per-shard
 // scratch.
 func (b *searchBuf) prepare(ix *Index, query *Sketch, shards int) *packedQuery {
+	b.merged = b.merged[:0]
 	b.packed = packSignatureAppend(b.packed[:0], query.Signature, ix.Bits())
 	b.q = packedQuery{
 		name:     query.Name,
 		shingles: query.Shingles,
 		slots:    len(query.Signature),
-		sig:      query.Signature,
 		packed:   b.packed,
 	}
 	if cap(b.scratch) < shards {
@@ -114,6 +118,19 @@ func (b *searchBuf) prepare(ix *Index, query *Sketch, shards int) *packedQuery {
 		b.scratch = b.scratch[:shards]
 	}
 	return &b.q
+}
+
+// prepareBandKeys precomputes the query's bucket key for every band,
+// masked to the index's packing width so the keys match what the
+// shards stored at add time.
+func (b *searchBuf) prepareBandKeys(ix *Index, query *Sketch) {
+	lsh := ix.LSHParams()
+	mask := laneMask(ix.Bits())
+	b.keys = b.keys[:0]
+	for band := 0; band < lsh.Bands; band++ {
+		b.keys = append(b.keys, lsh.bandKey(band, query.Signature, mask))
+	}
+	b.q.bandKeys = b.keys
 }
 
 // PairwiseDistances computes all n*(n-1)/2 distinct pairwise
@@ -188,20 +205,11 @@ func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) 
 	defer putSearchBuf(buf)
 	shards := ix.snapshotShards()
 	q := buf.prepare(ix, query, len(shards))
-	p := parallelPool(pool, ix.Len())
-	if p == nil {
-		merged := buf.merged[:0]
-		for _, sh := range shards {
-			merged = sh.scanAppend(merged, q, minSim)
-		}
-		buf.merged = merged
-		return finishResults(merged, topK), nil
-	}
-	buf.merged = scanShardsParallel(buf, shards, q, topK, minSim, p,
-		func(sh *shard, sc *shardScratch) []Result {
-			return sh.scanAppend(sc.results[:0], q, minSim)
+	merged := runScan(buf, shards, q, topK, minSim, pool, ix.Len(),
+		func(sh *shard, sc *shardScratch, dst []Result) []Result {
+			return sh.scanAppend(dst, q, minSim)
 		})
-	return finishResults(buf.merged, topK), nil
+	return finishResults(merged, topK), nil
 }
 
 // SearchTopKLSH is the sub-linear counterpart of SearchTopK: it probes
@@ -223,41 +231,26 @@ func SearchTopKLSH(ix *Index, query *Sketch, topK int, minSim float64, pool *Poo
 	defer putSearchBuf(buf)
 	shards := ix.snapshotShards()
 	q := buf.prepare(ix, query, len(shards))
+	buf.prepareBandKeys(ix, query)
 	// Probing is a handful of map lookups per shard; always inline.
 	totalCand := 0
 	for si, sh := range shards {
 		sh.probeCandidates(q, &buf.scratch[si])
 		totalCand += len(buf.scratch[si].cands)
 	}
-	merged := buf.merged[:0]
-	if p := parallelPool(pool, totalCand); p == nil {
-		for si, sh := range shards {
-			merged = sh.scoreCandidates(merged, q, minSim, &buf.scratch[si])
-		}
-	} else {
-		buf.merged = merged
-		merged = scanShardsParallel(buf, shards, q, topK, minSim, p,
-			func(sh *shard, sc *shardScratch) []Result {
-				return sh.scoreCandidates(sc.results[:0], q, minSim, sc)
-			})
-	}
+	merged := runScan(buf, shards, q, topK, minSim, pool, totalCand,
+		func(sh *shard, sc *shardScratch, dst []Result) []Result {
+			return sh.scoreCandidates(dst, q, minSim, sc)
+		})
 	if n := ix.Len(); len(merged) < topK && totalCand < n {
 		// Fallback: score only the records the candidate pass skipped
 		// (each shard's bitset marks its probed rows), so no record is
 		// scored twice and the merged set matches an exact scan.
-		if p := parallelPool(pool, n-totalCand); p == nil {
-			for si, sh := range shards {
-				merged = sh.scanRestAppend(merged, q, minSim, &buf.scratch[si])
-			}
-		} else {
-			buf.merged = merged
-			merged = scanShardsParallel(buf, shards, q, topK, minSim, p,
-				func(sh *shard, sc *shardScratch) []Result {
-					return sh.scanRestAppend(sc.results[:0], q, minSim, sc)
-				})
-		}
+		merged = runScan(buf, shards, q, topK, minSim, pool, n-totalCand,
+			func(sh *shard, sc *shardScratch, dst []Result) []Result {
+				return sh.scanRestAppend(dst, q, minSim, sc)
+			})
 	}
-	buf.merged = merged
 	return finishResults(merged, topK), nil
 }
 
@@ -277,17 +270,30 @@ func parallelPool(pool *Pool, rows int) *Pool {
 	return pool
 }
 
-// scanShardsParallel runs scan once per shard on the pool — one
-// goroutine per stripe, each appending into its own scratch buffer and
-// truncating to a bounded top-K heap — then concatenates the survivors
-// onto buf.merged and returns it. The global top-K is contained in the
-// union of per-shard top-Ks, so truncating early keeps the merge and
-// final sort O(shards*topK) instead of O(rows).
-func scanShardsParallel(buf *searchBuf, shards []*shard, q *packedQuery, topK int,
-	minSim float64, pool *Pool, scan func(*shard, *shardScratch) []Result) []Result {
-	pool.Map(len(shards), func(si int) {
+// runScan scores q across the shards with scan — which appends one
+// stripe's passing results to the slice it is handed — extending
+// buf.merged with the survivors and returning it. Scans of fewer than
+// parallelScoreMin rows run inline; larger ones fan out one goroutine
+// per stripe, each appending into its own scratch buffer and
+// truncating to a bounded top-K heap before the concatenation. The
+// global top-K is contained in the union of per-shard top-Ks (heap
+// selection uses the same resultBetter total order as the final sort),
+// so truncating early keeps the merge and final sort O(shards*topK)
+// instead of O(rows).
+func runScan(buf *searchBuf, shards []*shard, q *packedQuery, topK int, minSim float64,
+	pool *Pool, rows int, scan func(*shard, *shardScratch, []Result) []Result) []Result {
+	p := parallelPool(pool, rows)
+	if p == nil {
+		merged := buf.merged
+		for si, sh := range shards {
+			merged = scan(sh, &buf.scratch[si], merged)
+		}
+		buf.merged = merged
+		return merged
+	}
+	p.Map(len(shards), func(si int) {
 		sc := &buf.scratch[si]
-		sc.results = scan(shards[si], sc)
+		sc.results = scan(shards[si], sc, sc.results[:0])
 		if len(sc.results) > topK {
 			selectTopK(sc.results, topK)
 			sc.results = sc.results[:topK]
@@ -297,6 +303,7 @@ func scanShardsParallel(buf *searchBuf, shards []*shard, q *packedQuery, topK in
 	for si := range shards {
 		merged = append(merged, buf.scratch[si].results...)
 	}
+	buf.merged = merged
 	return merged
 }
 
@@ -312,6 +319,10 @@ func checkSearchArgs(ix *Index, query *Sketch, topK int) error {
 	if query.K != meta.K || len(query.Signature) != meta.SignatureSize {
 		return fmt.Errorf("search: query sketch (k=%d, size=%d) incompatible with index %q (k=%d, size=%d)",
 			query.K, len(query.Signature), meta.Name, meta.K, meta.SignatureSize)
+	}
+	if b := normSketchBits(query.Bits); b != 64 && b != meta.Bits {
+		return fmt.Errorf("search: query sketch holds %d-bit truncated slots but index %q packs at %d bits",
+			b, meta.Name, meta.Bits)
 	}
 	return nil
 }

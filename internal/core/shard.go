@@ -92,6 +92,7 @@ func (sh *shard) getSketch(name string, k int, scheme Scheme) *Sketch {
 		K:         k,
 		Shingles:  int(sh.shingles[idx]),
 		Scheme:    scheme,
+		Bits:      sh.arena.bits,
 		Signature: sh.arena.appendUnpacked(make([]uint64, 0, sh.arena.slots), int(idx)),
 	}
 }
@@ -117,17 +118,18 @@ func (sh *shard) scanAppend(dst []Result, q *packedQuery, minSim float64) []Resu
 }
 
 // probeCandidates gathers the shard-local record indexes sharing at
-// least one LSH band bucket with q's signature into sc.cands, deduped
-// through sc's candidate bitset (indexes hit by several bands appear
-// once). The bitset is retained so a later scanRestAppend can score
-// exactly the complement.
+// least one LSH band bucket with the query (whose per-band keys are
+// precomputed in q.bandKeys) into sc.cands, deduped through sc's
+// candidate bitset (indexes hit by several bands appear once). The
+// bitset is retained so a later scanRestAppend can score exactly the
+// complement.
 func (sh *shard) probeCandidates(q *packedQuery, sc *shardScratch) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	sc.resetFor(len(sh.names))
 	bi := sh.bands
-	for band := 0; band < bi.params.Bands; band++ {
-		for _, idx := range bi.buckets[band][bi.params.bandKey(band, q.sig, sh.mask)] {
+	for band, key := range q.bandKeys {
+		for _, idx := range bi.buckets[band][key] {
 			if sc.candSet[idx>>6]&(1<<uint(idx&63)) != 0 {
 				continue
 			}

@@ -76,15 +76,20 @@ type Record struct {
 }
 
 // Sketch is a compact fixed-size minhash signature of one record.
-// Two sketches are comparable only if they share the scheme, K, and
-// signature size. Scheme is in-memory state: index files record the
-// scheme once in their metadata, and loaders stamp it back onto every
-// sketch (empty means legacy KMH).
+// Two sketches are comparable only if they share the scheme, K,
+// signature size, and slot width. Scheme and Bits are in-memory state:
+// index files record them once in their metadata, and loaders stamp
+// them back onto every sketch (empty/zero mean legacy KMH and
+// full-width slots). Bits below 64 marks a sketch reconstructed from a
+// b-bit packed index, whose slot values are truncated lanes — mixing
+// those with full-width sketches would silently score near-zero, so
+// comparisons reject the mismatch instead (see compatible).
 type Sketch struct {
 	Name      string   `json:"name"`
 	K         int      `json:"k"`
 	Shingles  int      `json:"shingles"`
 	Scheme    Scheme   `json:"-"`
+	Bits      int      `json:"-"`
 	Signature []uint64 `json:"signature"`
 }
 

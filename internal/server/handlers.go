@@ -223,15 +223,19 @@ var (
 
 func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	sk := s.eng.Index().Get(name)
-	if sk == nil {
+	ix := s.eng.Index()
+	// Has instead of Get: the response only carries metadata, and Get
+	// would reconstruct (allocate + unpack) the record's signature from
+	// the packed arena just to throw it away.
+	if !ix.Has(name) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("record %q is not indexed", name))
 		return
 	}
+	meta := ix.Metadata()
 	writeJSON(w, http.StatusOK, RecordResponse{
-		Name:          sk.Name,
-		K:             sk.K,
-		SignatureSize: len(sk.Signature),
+		Name:          name,
+		K:             meta.K,
+		SignatureSize: meta.SignatureSize,
 	})
 }
 
