@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test cover bench bench-json bench-compare smoke lint clean
+.PHONY: all build vet test cover bench bench-json bench-compare smoke lint linkcheck clean
 
 all: build vet test
 
@@ -35,7 +35,10 @@ bench-compare:
 smoke:
 	./scripts/smoke_http.sh
 
-lint:
+linkcheck:
+	./scripts/check_links.sh
+
+lint: linkcheck
 	@if command -v golangci-lint >/dev/null 2>&1; then \
 		golangci-lint run ./...; \
 	else \

@@ -175,6 +175,50 @@ func bitsFlag(fs *flag.FlagSet) *int {
 		"signature packing width: 64 (full minhash values), 16, or 8 (b-bit minwise hashing; 4x/8x smaller, tiny accuracy cost)")
 }
 
+// tierOpts carries the tiered-storage flag values into loadOrCreateIndex.
+type tierOpts struct {
+	enabled bool
+	dataDir string
+	segRows int
+	budget  int
+}
+
+// tieredFlags adds the tiered-storage flags shared by sketch, search,
+// and serve. See "Scaling past RAM" in the README.
+func tieredFlags(fs *flag.FlagSet) (tiered *bool, dataDir *string, segRows, budget *int) {
+	tiered = fs.Bool("tiered", false,
+		"tiered storage: keep a packed prefilter in RAM and full-width signatures in mmap'd segment files under -data-dir")
+	dataDir = fs.String("data-dir", "",
+		"tiered index directory (MANIFEST.json + segments/); loaded if it holds an index, created or upgraded into with -tiered")
+	segRows = fs.Int("segment-rows", 0,
+		"records per sealed segment file (0 = default; new tiered indexes only)")
+	budget = fs.Int("budget", 0,
+		"tiered search: max full-width rescores per shard per query (0 = unbounded, results identical to non-tiered)")
+	return
+}
+
+// flagWasSet reports whether the user set the named flag explicitly.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// tieredBits applies the tiered default packing width: a tiered index
+// created without an explicit -bits gets an 8-bit prefilter (the
+// memory-saving configuration tiering exists for), while non-tiered
+// creation keeps the full-width default.
+func tieredBits(fs *flag.FlagSet, bits int, tiered bool) int {
+	if tiered && !flagWasSet(fs, "bits") {
+		return 8
+	}
+	return bits
+}
+
 // resolveLSH turns the flag values into concrete parameters for a new
 // index with signature size sigSize.
 func resolveLSH(bands, rows, shards, sigSize int) (core.LSHParams, int, error) {
@@ -226,6 +270,7 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 	k, size, threads, scheme := sketchFlags(fs)
 	bands, rows, shards := lshFlags(fs)
 	bits := bitsFlag(fs)
+	tiered, dataDir, segRows, budget := tieredFlags(fs)
 	cpu, mem := profileFlags(fs)
 	out := fs.String("o", "index.json", "output index path (loaded first if it exists)")
 	name := fs.String("name", "default", "index name (new indexes only)")
@@ -242,10 +287,12 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	return withProfiles(*cpu, *mem, func() error {
-		ix, err := loadOrCreateIndex(*out, *name, *k, *size, sch, *bands, *rows, *shards, *bits)
+		ix, err := loadOrCreateIndex(*out, *name, *k, *size, sch, *bands, *rows, *shards,
+			tieredBits(fs, *bits, *tiered), tierOpts{*tiered, *dataDir, *segRows, *budget})
 		if err != nil {
 			return err
 		}
+		defer ix.Close()
 		meta := ix.Metadata()
 		warnIgnoredIndexFlags("sketch", fs, meta, *k, *size, *scheme, *bands, *rows, *shards, *bits, *name, stderr)
 		eng, err := core.NewEngineWithIndex(ix, *threads)
@@ -276,7 +323,12 @@ func cmdSketch(argv []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		skipped += len(fresh) - added
-		if err := ix.SaveFile(*out); err != nil {
+		if ix.Tiered() {
+			err = ix.SaveDir()
+		} else {
+			err = ix.SaveFile(*out)
+		}
+		if err != nil {
 			return err
 		}
 		meta = ix.Metadata()
@@ -332,8 +384,9 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	// the index's own parameters (see below).
 	threads := threadsFlag(fs)
 	bands, rows, shards := lshFlags(fs)
+	tiered, dataDir, segRows, budget := tieredFlags(fs)
 	cpu, mem := profileFlags(fs)
-	db := fs.String("d", "", "index file to search (required)")
+	db := fs.String("d", "", "index file to search (or use -data-dir for a tiered index directory)")
 	topK := fs.Int("top", 5, "maximum results per query")
 	minSim := fs.Float64("min", 0, "minimum similarity to report")
 	modeFlag := fs.String("mode", "lsh", "search mode: lsh (banded candidate filter) or exact (full scan)")
@@ -341,8 +394,8 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	if err := parseFlags(fs, argv); err != nil {
 		return err
 	}
-	if *db == "" {
-		return fmt.Errorf("search: -d index file is required")
+	if *db == "" && *dataDir == "" {
+		return fmt.Errorf("search: -d index file (or -data-dir tiered directory) is required")
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("search: no query files")
@@ -352,10 +405,11 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	return withProfiles(*cpu, *mem, func() error {
-		ix, err := core.LoadIndexFile(*db)
+		ix, err := loadSearchIndex(*db, *dataDir, *tiered, *segRows, *budget)
 		if err != nil {
 			return err
 		}
+		defer ix.Close()
 		// Band postings are rebuilt from signatures at load time, so the
 		// banding scheme and shard count can be retuned per search run
 		// without re-sketching.
@@ -387,6 +441,10 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 			meta, arena := ix.Metadata(), ix.Arena()
 			fmt.Fprintf(stderr, "engine: search: index=%s records=%d bits=%d signature_bytes=%d bytes_per_record=%.1f arena_utilization=%.2f\n",
 				meta.Name, meta.RecordCount, arena.Bits, arena.SignatureBytes, arena.BytesPerRecord, arena.Utilization)
+			if ts := ix.Tier(); ts != nil {
+				fmt.Fprintf(stderr, "engine: search: tier: prefilter_bits=%d segments=%d resident_bytes=%d mapped_bytes=%d head_bytes=%d budget=%d\n",
+					ts.PrefilterBits, ts.Segments, ts.ResidentBytes, ts.MappedBytes, ts.HeadBytes, ts.Budget)
+			}
 		}
 		recs, err := readRecords(fs.Args())
 		if err != nil {
@@ -407,20 +465,100 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 	})
 }
 
-func loadOrCreateIndex(path, name string, k, size int, scheme core.Scheme, bands, rows, shards, bits int) (*core.Index, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		lsh, n, err := resolveLSH(bands, rows, shards, size)
+// loadSearchIndex resolves the search command's index source: a tiered
+// directory when -data-dir points at one, a plain JSON index otherwise.
+// With both -d and -tiered -data-dir, the JSON index is migrated into
+// the directory and persisted there — the CLI's explicit upgrade path —
+// keeping its stored packing width for the prefilter.
+func loadSearchIndex(db, dataDir string, tiered bool, segRows, budget int) (*core.Index, error) {
+	switch {
+	case dataDir != "" && core.IsTieredDir(dataDir):
+		ix, err := core.LoadDir(dataDir)
 		if err != nil {
 			return nil, err
 		}
-		return core.NewIndexWith(name, k, size, scheme, lsh, n, bits)
+		ix.SetBudget(budget)
+		return ix, nil
+	case dataDir != "":
+		if !tiered {
+			return nil, fmt.Errorf("search: %s is not a tiered index directory (no %s); pass -tiered with -d to migrate a JSON index into it",
+				dataDir, core.ManifestFile)
+		}
+		if db == "" {
+			return nil, fmt.Errorf("search: migrating to a tiered directory needs the source index via -d")
+		}
+		ix, err := core.LoadIndexFile(db)
+		if err != nil {
+			return nil, err
+		}
+		if err := ix.EnableTiered(dataDir, segRows, 0); err != nil {
+			return nil, err
+		}
+		if err := ix.SaveDir(); err != nil {
+			ix.Close()
+			return nil, err
+		}
+		ix.SetBudget(budget)
+		return ix, nil
+	default:
+		return core.LoadIndexFile(db)
+	}
+}
+
+func loadOrCreateIndex(path, name string, k, size int, scheme core.Scheme, bands, rows, shards, bits int, t tierOpts) (*core.Index, error) {
+	if t.enabled && t.dataDir == "" {
+		return nil, fmt.Errorf("index: -tiered requires -data-dir")
+	}
+	// An existing tiered directory wins over everything: it IS the index.
+	if t.dataDir != "" && core.IsTieredDir(t.dataDir) {
+		ix, err := core.LoadDir(t.dataDir)
+		if err != nil {
+			return nil, err
+		}
+		ix.SetBudget(t.budget)
+		return ix, nil
+	}
+	if t.dataDir != "" && !t.enabled {
+		return nil, fmt.Errorf("index: %s is not a tiered index directory (no %s); create one by adding -tiered",
+			t.dataDir, core.ManifestFile)
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		lsh, n, rerr := resolveLSH(bands, rows, shards, size)
+		if rerr != nil {
+			return nil, rerr
+		}
+		ix, nerr := core.NewIndexWith(name, k, size, scheme, lsh, n, bits)
+		if nerr != nil {
+			return nil, nerr
+		}
+		if t.enabled {
+			if terr := ix.EnableTiered(t.dataDir, t.segRows, 0); terr != nil {
+				return nil, terr
+			}
+			ix.SetBudget(t.budget)
+		}
+		return ix, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
-	defer f.Close()
-	return core.LoadIndex(f)
+	ix, err := core.LoadIndex(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if t.enabled {
+		// First tiered run over a legacy JSON index: migrate it into the
+		// data directory (lossless re-truncation from full-width slots).
+		// The JSON file is left behind untouched; from the next run on,
+		// the directory is the index.
+		if err := ix.EnableTiered(t.dataDir, t.segRows, bits); err != nil {
+			return nil, err
+		}
+		ix.SetBudget(t.budget)
+	}
+	return ix, nil
 }
 
 // readRecords loads each path as one record named by its base name.

@@ -26,6 +26,7 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	k, size, threads, scheme := sketchFlags(fs)
 	bands, rows, shards := lshFlags(fs)
 	bits := bitsFlag(fs)
+	tiered, dataDir, segRows, budget := tieredFlags(fs)
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	pprofAddr := fs.String("pprof-addr", "",
 		"listen address for net/http/pprof (e.g. 127.0.0.1:6060; empty disables)")
@@ -54,10 +55,12 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ix, err := loadOrCreateIndex(*db, *name, *k, *size, sch, *bands, *rows, *shards, *bits)
+	ix, err := loadOrCreateIndex(*db, *name, *k, *size, sch, *bands, *rows, *shards,
+		tieredBits(fs, *bits, *tiered), tierOpts{*tiered, *dataDir, *segRows, *budget})
 	if err != nil {
 		return err
 	}
+	defer ix.Close()
 	meta := ix.Metadata()
 	warnIgnoredIndexFlags("serve", fs, meta, *k, *size, *scheme, *bands, *rows, *shards, *bits, *name, stderr)
 	eng, err := core.NewEngineWithIndex(ix, *threads)
@@ -73,9 +76,17 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 		defer stop()
 		fmt.Fprintf(stdout, "pprof\taddr=%s\n", bound)
 	}
+	// Tiered indexes snapshot into their data directory (sealing new
+	// segments, rewriting the small manifest); the -d JSON path is then
+	// unused as a snapshot destination.
+	indexPath, snapDest := *db, *db
+	if ix.Tiered() {
+		indexPath, snapDest = "", ix.DataDir()
+	}
 	srv, err := server.New(eng, server.Config{
 		Addr:          *addr,
-		IndexPath:     *db,
+		IndexPath:     indexPath,
+		DataDir:       ix.DataDir(),
 		SnapshotEvery: *snapEvery,
 		MaxInFlight:   *maxInFlight,
 		MaxBatch:      *maxBatch,
@@ -94,7 +105,7 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "serving\taddr=%s\tindex=%s\trecords=%d\tmode=%s\tsnapshot=%s\n",
-		bound, meta.Name, ix.Len(), mode, *db)
+		bound, meta.Name, ix.Len(), mode, snapDest)
 	ctx, stop := signal.NotifyContext(serveBaseContext(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return srv.Serve(ctx)

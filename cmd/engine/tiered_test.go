@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLITiered drives the out-of-core flags end to end: creating a
+// tiered index with sketch, searching it through -data-dir, and
+// checking the results are byte-identical to the plain JSON index over
+// the same corpus (the tier is a storage change, not a ranking change).
+func TestCLITiered(t *testing.T) {
+	dir := t.TempDir()
+	index := filepath.Join(dir, "index.json")
+	dataDir := filepath.Join(dir, "tiered")
+	inputs := []string{testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt")}
+
+	if _, stderr, code := runCLI(t, append([]string{"sketch", "-o", index}, inputs...)...); code != 0 {
+		t.Fatalf("plain sketch failed (%d): %s", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, append([]string{"sketch", "-tiered", "-data-dir", dataDir,
+		"-segment-rows", "2", "-o", filepath.Join(dir, "unused.json")}, inputs...)...); code != 0 {
+		t.Fatalf("tiered sketch failed (%d): %s", code, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "MANIFEST.json")); err != nil {
+		t.Fatalf("tiered sketch wrote no manifest: %v", err)
+	}
+
+	plain, stderr, code := runCLI(t, "search", "-d", index, "-top", "2", testdata("beta.txt"))
+	if code != 0 {
+		t.Fatalf("plain search failed (%d): %s", code, stderr)
+	}
+	tiered, stderr, code := runCLI(t, "search", "-data-dir", dataDir, "-top", "2", testdata("beta.txt"))
+	if code != 0 {
+		t.Fatalf("tiered search failed (%d): %s", code, stderr)
+	}
+	if plain != tiered {
+		t.Fatalf("tiered search output differs from plain:\n%s\nvs\n%s", tiered, plain)
+	}
+
+	// Incremental tiered sketch: re-running over the same inputs skips
+	// everything and leaves the index intact.
+	stdout, stderr, code := runCLI(t, append([]string{"sketch", "-tiered", "-data-dir", dataDir,
+		"-o", filepath.Join(dir, "unused.json")}, inputs...)...)
+	if code != 0 {
+		t.Fatalf("incremental tiered sketch failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "records=3") || !strings.Contains(stdout, "added=0") {
+		t.Fatalf("incremental tiered sketch output: %s", stdout)
+	}
+
+	// -v surfaces the tier line (resident vs mapped bytes) on stderr.
+	if _, stderr, code = runCLI(t, "search", "-data-dir", dataDir, "-v", testdata("beta.txt")); code != 0 {
+		t.Fatalf("verbose tiered search failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "resident_bytes=") || !strings.Contains(stderr, "mapped_bytes=") {
+		t.Fatalf("search -v on tiered index did not report tier bytes: %s", stderr)
+	}
+}
+
+// TestCLITieredMigration: pointing search at a legacy JSON index with
+// -tiered -data-dir upgrades it into a v5 directory on the spot; later
+// runs load the directory directly and the JSON file is left behind
+// untouched.
+func TestCLITieredMigration(t *testing.T) {
+	dir := t.TempDir()
+	index := filepath.Join(dir, "index.json")
+	dataDir := filepath.Join(dir, "tiered")
+	inputs := []string{testdata("alpha.txt"), testdata("beta.txt"), testdata("gamma.txt")}
+
+	if _, stderr, code := runCLI(t, append([]string{"sketch", "-o", index}, inputs...)...); code != 0 {
+		t.Fatalf("sketch failed (%d): %s", code, stderr)
+	}
+	before, err := os.ReadFile(index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, stderr, code := runCLI(t, "search", "-d", index, "-top", "2", testdata("gamma.txt"))
+	if code != 0 {
+		t.Fatalf("plain search failed (%d): %s", code, stderr)
+	}
+
+	migrated, stderr, code := runCLI(t, "search", "-d", index, "-tiered", "-data-dir", dataDir,
+		"-top", "2", testdata("gamma.txt"))
+	if code != 0 {
+		t.Fatalf("migrating search failed (%d): %s", code, stderr)
+	}
+	if migrated != plain {
+		t.Fatalf("migration changed search output:\n%s\nvs\n%s", migrated, plain)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "MANIFEST.json")); err != nil {
+		t.Fatalf("migration wrote no manifest: %v", err)
+	}
+	after, err := os.ReadFile(index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("migration modified the legacy JSON index")
+	}
+
+	// The upgraded directory now stands on its own.
+	again, stderr, code := runCLI(t, "search", "-data-dir", dataDir, "-top", "2", testdata("gamma.txt"))
+	if code != 0 {
+		t.Fatalf("post-migration search failed (%d): %s", code, stderr)
+	}
+	if again != plain {
+		t.Fatalf("post-migration search output differs:\n%s\nvs\n%s", again, plain)
+	}
+}
+
+// TestCLITieredErrors pins the flag-validation failure modes.
+func TestCLITieredErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]string{
+		"tiered without data-dir": {"sketch", "-tiered", "-o", filepath.Join(dir, "x.json"), testdata("alpha.txt")},
+		"data-dir without tiered": {"sketch", "-data-dir", filepath.Join(dir, "nothere"),
+			"-o", filepath.Join(dir, "y.json"), testdata("alpha.txt")},
+		"search empty data-dir": {"search", "-data-dir", filepath.Join(dir, "missing"), testdata("alpha.txt")},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, stderr, code := runCLI(t, args...); code == 0 {
+				t.Fatalf("%v succeeded, want error; stderr: %s", args, stderr)
+			}
+		})
+	}
+}

@@ -1,21 +1,3 @@
-// Package core implements the sketch/index/query engine at the heart of
-// sketchengine.
-//
-// The pipeline has three stages:
-//
-//  1. Sketching: input records are shingled with a rolling hash and
-//     compressed into compact fixed-size minhash signatures (see Sketcher).
-//  2. Indexing: signatures live in a sharded in-memory Index — N
-//     lock-striped shards keyed by record-name hash, each owning a
-//     contiguous packed signature arena (optionally truncated to b-bit
-//     slots) and LSH band postings — alongside JSON metadata with
-//     incremental add / skip-existing semantics.
-//  3. Querying: pairwise-distance and top-K similarity queries fan out
-//     over a bounded worker pool sized to GOMAXPROCS (see Pool), one
-//     goroutine per shard, each sweeping its arena cache-linearly.
-//     Top-K search runs in LSH mode by default, probing band buckets
-//     for candidates instead of scanning the whole corpus (see
-//     SearchTopKLSH).
 package core
 
 import (
@@ -60,6 +42,20 @@ type Options struct {
 	Bits int
 	// Mode selects how Search scans the index; empty means ModeLSH.
 	Mode SearchMode
+	// Tiered splits storage into the RAM-resident packed prefilter (at
+	// Bits width) plus full-width signatures in mmap'd on-disk segments
+	// under DataDir; see Index.EnableTiered and docs/ARCHITECTURE.md.
+	Tiered bool
+	// DataDir roots the tiered index directory. Required when Tiered.
+	DataDir string
+	// SegmentRows is how many records accumulate in a shard's mutable
+	// head before it is sealed into an immutable segment file; <= 0
+	// means DefaultSegmentRows. Tiered only.
+	SegmentRows int
+	// Budget caps full-width rescores per shard per query; 0 means
+	// unbounded (tiered results then match non-tiered exactly). Tiered
+	// only.
+	Budget int
 }
 
 // Engine ties the three pipeline stages together behind one entry point.
@@ -111,6 +107,12 @@ func NewEngine(opts Options) (*Engine, error) {
 	ix, err := NewIndexWith(opts.IndexName, opts.K, opts.SignatureSize, scheme, lsh, opts.Shards, opts.Bits)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if opts.Tiered {
+		if err := ix.EnableTiered(opts.DataDir, opts.SegmentRows, 0); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		ix.SetBudget(opts.Budget)
 	}
 	return &Engine{
 		sketcher: sk,
@@ -238,6 +240,9 @@ type Stats struct {
 	Generation     uint64     `json:"generation"`
 	CreatedAt      time.Time  `json:"created_at"`
 	UpdatedAt      time.Time  `json:"updated_at"`
+	// Tier is present only on tiered indexes, so non-tiered /stats
+	// output is byte-identical to previous releases.
+	Tier *TierStats `json:"tier,omitempty"`
 }
 
 // Stats returns a consistent-enough snapshot of the engine for
@@ -267,6 +272,7 @@ func (e *Engine) Stats() Stats {
 		Generation:     e.index.Generation(),
 		CreatedAt:      meta.CreatedAt,
 		UpdatedAt:      meta.UpdatedAt,
+		Tier:           e.index.Tier(),
 	}
 }
 

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+)
+
+// ManifestFile is the name of the manifest inside a tiered index
+// directory (format v5). The manifest is small — metadata, record
+// names, and segment references — while the bulk full-width signature
+// data lives in immutable files under segments/. See docs/FORMAT.md.
+const ManifestFile = "MANIFEST.json"
+
+// manifestSegment references one sealed segment file, with enough
+// geometry for LoadDir to verify the file before trusting it.
+type manifestSegment struct {
+	File  string `json:"file"` // base name under segments/
+	Base  int    `json:"base"` // first shard-local row held
+	Rows  int    `json:"rows"`
+	CRC32 uint32 `json:"crc32"` // IEEE CRC of the payload words
+}
+
+// manifestShard is one stripe's row-indexed state: segment references
+// in base order (tiling rows [0, sum rows)), plus the names and shingle
+// counts for every row. Signatures are NOT here — the packed prefilter
+// is rebuilt by streaming the segments once at load.
+type manifestShard struct {
+	Segments []manifestSegment `json:"segments"`
+	Names    []string          `json:"names"`
+	Shingles []int32           `json:"shingles"`
+}
+
+// manifestTier carries the tier configuration a reopened index resumes
+// with.
+type manifestTier struct {
+	SegmentRows int `json:"segment_rows"`
+}
+
+// manifest is the JSON layout of MANIFEST.json, the commit point of
+// every SaveDir: segments are written and renamed into place first, and
+// only the atomic manifest rename makes them reachable.
+type manifest struct {
+	Meta   Metadata        `json:"meta"`
+	Tier   manifestTier    `json:"tier"`
+	Order  []string        `json:"order"`
+	Shards []manifestShard `json:"shards"`
+}
+
+// IsTieredDir reports whether path looks like a tiered index directory:
+// a directory containing a manifest. It is the cheap sniff CLI loaders
+// use to pick LoadDir over LoadIndexFile.
+func IsTieredDir(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, ManifestFile))
+	return err == nil
+}
+
+// EnableTiered converts the index to tiered storage rooted at dataDir:
+// the in-RAM arena becomes the packed prefilter at the given width
+// (bits 0 keeps the current width; populated indexes re-truncate
+// losslessly from their full-width slots) and full-width signatures
+// move to the on-disk tier, sealed into immutable segment files of
+// segmentRows rows (0 means DefaultSegmentRows) as they accumulate.
+// Existing records are migrated immediately, so enabling on a loaded v4
+// index is the upgrade path to format v5 — but only full-width (64-bit)
+// indexes can migrate: a populated 8- or 16-bit index discarded its
+// full-width slots at add time and is rejected. Like Rebucket, it must
+// not run concurrently with Add or queries.
+func (ix *Index) EnableTiered(dataDir string, segmentRows, bits int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.tier != nil {
+		return fmt.Errorf("index %q: tiered storage is already enabled (data dir %s)", ix.meta.Name, ix.tier.dataDir)
+	}
+	if dataDir == "" {
+		return fmt.Errorf("index %q: tiered storage needs a data directory", ix.meta.Name)
+	}
+	if segmentRows <= 0 {
+		segmentRows = DefaultSegmentRows
+	}
+	if bits == 0 {
+		bits = ix.bits
+	}
+	bits, err := validBits(bits)
+	if err != nil {
+		return fmt.Errorf("index %q: %w", ix.meta.Name, err)
+	}
+	if len(ix.order) > 0 && ix.bits != 64 {
+		return fmt.Errorf("index %q: cannot enable tiered storage on a populated %d-bit index: the full-width signatures were discarded at add time; rebuild from source data",
+			ix.meta.Name, ix.bits)
+	}
+	tier := &tierState{dataDir: dataDir, segmentRows: segmentRows}
+	if err := os.MkdirAll(tier.segmentsDir(), 0o755); err != nil {
+		return fmt.Errorf("index %q: enable tiered: %w", ix.meta.Name, err)
+	}
+	fresh := newShards(len(ix.shards), ix.lsh, ix.meta.SignatureSize, bits)
+	for i := range fresh {
+		fresh[i].full = newFullStore(ix.meta.SignatureSize, i, tier)
+	}
+	sig := make([]uint64, 0, ix.meta.SignatureSize)
+	for si, old := range ix.shards {
+		// Same shard count, so every record stays on stripe si; walking
+		// the arena in row order preserves shard-local row indexes.
+		for i, name := range old.names {
+			sig = old.arena.appendUnpacked(sig[:0], i)
+			if _, err := fresh[si].add(&Sketch{
+				Name:      name,
+				K:         ix.meta.K,
+				Shingles:  int(old.shingles[i]),
+				Scheme:    ix.meta.Scheme,
+				Bits:      DefaultBits,
+				Signature: sig,
+			}); err != nil {
+				for _, sh := range fresh {
+					sh.full.close()
+				}
+				return fmt.Errorf("index %q: enable tiered: %w", ix.meta.Name, err)
+			}
+		}
+	}
+	ix.shards = fresh
+	ix.bits = bits
+	ix.meta.Bits = bits
+	ix.meta.Format = FormatV5
+	ix.tier = tier
+	return nil
+}
+
+// SaveDir persists a tiered index into its data directory: every
+// shard's mutable head is sealed into a new immutable segment, then the
+// manifest is atomically replaced. Because sealed segments never
+// change, a snapshot's cost is the unsealed rows plus the (small)
+// manifest — not the whole index. Segment files a crash or a dropped
+// head left unreferenced are cleaned up after the manifest commits.
+func (ix *Index) SaveDir() (err error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.tier == nil {
+		return fmt.Errorf("index %q: not a tiered index; call EnableTiered first or use SaveFile", ix.meta.Name)
+	}
+	// Hold every shard lock across seal + manifest + cleanup so no
+	// concurrent add can seal a segment between the manifest snapshot
+	// and the orphan sweep (which would delete it as unreferenced).
+	for _, sh := range ix.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range ix.shards {
+			sh.mu.Unlock()
+		}
+	}()
+
+	man := manifest{
+		Meta:  ix.meta,
+		Tier:  manifestTier{SegmentRows: ix.tier.segmentRows},
+		Order: slices.Clone(ix.order),
+	}
+	man.Meta.Format = FormatV5
+	man.Meta.Bits = ix.bits
+	man.Meta.RecordCount = len(ix.order)
+	for _, sh := range ix.shards {
+		if err := sh.full.sealHead(); err != nil {
+			return fmt.Errorf("index %q: save dir: %w", ix.meta.Name, err)
+		}
+		ms := manifestShard{
+			Segments: make([]manifestSegment, 0, len(sh.full.segs)),
+			Names:    slices.Clone(sh.names),
+			Shingles: slices.Clone(sh.shingles),
+		}
+		for _, sg := range sh.full.segs {
+			ms.Segments = append(ms.Segments, manifestSegment{
+				File: filepath.Base(sg.path), Base: sg.base, Rows: sg.rows, CRC32: sg.crc,
+			})
+		}
+		man.Shards = append(man.Shards, ms)
+	}
+
+	if err := writeManifest(filepath.Join(ix.tier.dataDir, ManifestFile), &man); err != nil {
+		return fmt.Errorf("index %q: save dir: %w", ix.meta.Name, err)
+	}
+	cleanOrphanSegments(ix.tier.segmentsDir(), &man)
+	return nil
+}
+
+// writeManifest writes the manifest with the same temp+fsync+rename
+// dance as SaveFile; the rename is the snapshot's commit point.
+func writeManifest(path string, man *manifest) (err error) {
+	f, err := os.CreateTemp(filepath.Dir(path), ".manifest-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = json.NewEncoder(f).Encode(man); err != nil {
+		return err
+	}
+	if err = f.Chmod(0o644); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// cleanOrphanSegments removes segment and temp files the committed
+// manifest does not reference — leftovers of crashed seals or saves
+// that lost the race to a newer snapshot. Best-effort: failures leave
+// harmless garbage, never break the index.
+func cleanOrphanSegments(segDir string, man *manifest) {
+	refs := make(map[string]bool)
+	for _, ms := range man.Shards {
+		for _, sg := range ms.Segments {
+			refs[sg.File] = true
+		}
+	}
+	entries, err := os.ReadDir(segDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if refs[name] {
+			continue
+		}
+		if strings.HasSuffix(name, ".seg") || strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(segDir, name))
+		}
+	}
+}
+
+// LoadDir opens a tiered index directory written by SaveDir: it reads
+// the manifest, opens and checksum-verifies every referenced segment,
+// and rebuilds the packed prefilter and LSH band postings by streaming
+// the segment rows once. The full-width data itself stays on disk
+// (mmap'd where available), so a loaded index's heap holds only the
+// prefilter, postings, and names.
+func LoadDir(dir string) (ix *Index, err error) {
+	f, err := os.Open(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	var m manifest
+	derr := json.NewDecoder(f).Decode(&m)
+	f.Close()
+	if derr != nil {
+		return nil, fmt.Errorf("index: manifest: %w", derr)
+	}
+	switch {
+	case m.Meta.Format < FormatV5:
+		return nil, fmt.Errorf("index: manifest format %d is not the tiered directory format (%d)", m.Meta.Format, FormatV5)
+	case m.Meta.Format > FormatV5:
+		return nil, fmt.Errorf("index: manifest format %d is newer than this engine supports (max %d)", m.Meta.Format, FormatV5)
+	}
+	if m.Meta.K <= 0 || m.Meta.SignatureSize <= 0 {
+		return nil, fmt.Errorf("index: invalid manifest metadata: k=%d signature_size=%d", m.Meta.K, m.Meta.SignatureSize)
+	}
+	lsh, err := NewLSHParams(m.Meta.Bands, m.Meta.RowsPerBand, m.Meta.SignatureSize)
+	if err != nil {
+		return nil, fmt.Errorf("index: invalid manifest metadata: %w", err)
+	}
+	shards := m.Meta.Shards
+	if shards <= 0 || len(m.Shards) != shards {
+		return nil, fmt.Errorf("index: invalid manifest metadata: shards=%d but manifest lists %d shard entries", shards, len(m.Shards))
+	}
+	scheme := normScheme(m.Meta.Scheme)
+	if scheme != SchemeOPH && scheme != SchemeKMH {
+		return nil, fmt.Errorf("index: invalid manifest metadata: unknown scheme %q", m.Meta.Scheme)
+	}
+	bits, err := validBits(m.Meta.Bits)
+	if err != nil {
+		return nil, fmt.Errorf("index: invalid manifest metadata: %w", err)
+	}
+	segRows := m.Tier.SegmentRows
+	if segRows <= 0 {
+		segRows = DefaultSegmentRows
+	}
+
+	meta := m.Meta
+	meta.Format = FormatV5
+	meta.Scheme = scheme
+	meta.Bits = bits
+	tier := &tierState{dataDir: dir, segmentRows: segRows}
+	ix = &Index{
+		meta:   meta,
+		shards: newShards(shards, lsh, meta.SignatureSize, bits),
+		lsh:    lsh,
+		bits:   bits,
+		tier:   tier,
+	}
+	// Close whatever was opened before any failed return below. The
+	// failed returns set the named ix to nil, so the built index is
+	// captured separately.
+	built := ix
+	defer func() {
+		if err != nil {
+			built.Close()
+			ix = nil
+		}
+	}()
+
+	slots := meta.SignatureSize
+	for si, ms := range m.Shards {
+		sh := ix.shards[si]
+		sh.full = newFullStore(slots, si, tier)
+		if len(ms.Shingles) != len(ms.Names) {
+			return nil, fmt.Errorf("index: manifest shard %d: %d names but %d shingle counts", si, len(ms.Names), len(ms.Shingles))
+		}
+		rows := 0
+		for _, sref := range ms.Segments {
+			if sref.File != filepath.Base(sref.File) || sref.File == "" {
+				return nil, fmt.Errorf("index: manifest shard %d references invalid segment file name %q", si, sref.File)
+			}
+			if sref.Base != rows || sref.Rows <= 0 {
+				return nil, fmt.Errorf("index: manifest shard %d: segment %s covers rows [%d,%d), want base %d",
+					si, sref.File, sref.Base, sref.Base+sref.Rows, rows)
+			}
+			sg, serr := openSegment(filepath.Join(tier.segmentsDir(), sref.File), sref.Base, slots, sref.Rows, sref.CRC32)
+			if serr != nil {
+				return nil, fmt.Errorf("index: %w", serr)
+			}
+			sh.full.segs = append(sh.full.segs, sg)
+			rows += sref.Rows
+		}
+		sh.full.headBase = rows
+		if len(ms.Names) != rows {
+			return nil, fmt.Errorf("index: manifest shard %d: %d names but segments hold %d rows", si, len(ms.Names), rows)
+		}
+		sh.names = ms.Names
+		sh.shingles = ms.Shingles
+		for i, name := range ms.Names {
+			if name == "" {
+				return nil, fmt.Errorf("index: manifest shard %d row %d has an empty name", si, i)
+			}
+			if shardFor(name, shards) != si {
+				return nil, fmt.Errorf("index: manifest shard %d row %d: record %q belongs on shard %d", si, i, name, shardFor(name, shards))
+			}
+			if _, dup := sh.ids[name]; dup {
+				return nil, fmt.Errorf("index: duplicate record name %q", name)
+			}
+			sh.ids[name] = int32(i)
+		}
+		// One streaming pass over the full-width rows rebuilds the
+		// derived in-RAM state: packed prefilter rows and band postings.
+		for _, sg := range sh.full.segs {
+			serr := sg.forEachRow(func(local int, sig []uint64) error {
+				idx := int32(sh.arena.appendSig(sig))
+				sh.bands.add(idx, sig, sh.mask)
+				return nil
+			})
+			if serr != nil {
+				return nil, fmt.Errorf("index: %w", serr)
+			}
+		}
+	}
+	total := 0
+	for _, sh := range ix.shards {
+		total += len(sh.names)
+	}
+	if len(m.Order) != total {
+		return nil, fmt.Errorf("index: manifest order lists %d records but shards hold %d", len(m.Order), total)
+	}
+	for _, name := range m.Order {
+		if !ix.shards[shardFor(name, shards)].has(name) {
+			return nil, fmt.Errorf("index: manifest order references unknown record %q", name)
+		}
+	}
+	ix.order = m.Order
+	ix.meta.RecordCount = total
+	return ix, nil
+}
+
+// Tiered reports whether the index has an on-disk full-width tier.
+func (ix *Index) Tiered() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tier != nil
+}
+
+// DataDir returns the tiered data directory, or "" for non-tiered
+// indexes.
+func (ix *Index) DataDir() string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.tier == nil {
+		return ""
+	}
+	return ix.tier.dataDir
+}
+
+// SetBudget caps how many full-width rescores one query spends per
+// shard (0 = unbounded, the default — results then match the
+// non-tiered path exactly; a positive budget trades recall under
+// adversarially flat score distributions for a hard I/O bound).
+// Safe to adjust on a live index.
+func (ix *Index) SetBudget(n int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.tier != nil {
+		ix.tier.budget.Store(int64(n))
+	}
+}
+
+// Budget returns the per-shard rescore budget (0 = unbounded or
+// non-tiered).
+func (ix *Index) Budget() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.tier == nil {
+		return 0
+	}
+	return int(ix.tier.budget.Load())
+}
+
+// Tier returns a snapshot of tiered-storage state, or nil for
+// non-tiered indexes (so it serializes as an absent field in Stats).
+func (ix *Index) Tier() *TierStats {
+	ix.mu.RLock()
+	shards := ix.shards
+	tier := ix.tier
+	bits := ix.bits
+	ix.mu.RUnlock()
+	if tier == nil {
+		return nil
+	}
+	st := &TierStats{
+		PrefilterBits:     bits,
+		Budget:            int(tier.budget.Load()),
+		SegmentRows:       tier.segmentRows,
+		PrefilterScanned:  tier.scanned.Load(),
+		PrefilterSurvived: tier.survived.Load(),
+		Rescored:          tier.rescored.Load(),
+		ReadErrors:        tier.readErrors.Load(),
+	}
+	for _, sh := range shards {
+		segs, mapped, head, arenaUsed := sh.tierBytes()
+		st.Segments += segs
+		st.MappedBytes += mapped
+		st.HeadBytes += head
+		st.ResidentBytes += arenaUsed + head
+	}
+	if st.PrefilterScanned > 0 {
+		st.SurvivalRate = float64(st.PrefilterSurvived) / float64(st.PrefilterScanned)
+	}
+	return st
+}
+
+// Close releases the on-disk tier's mappings and file handles. It is a
+// no-op on non-tiered indexes; the index must not be used afterwards.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var first error
+	for _, sh := range ix.shards {
+		sh.mu.Lock()
+		if sh.full != nil {
+			if err := sh.full.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}

@@ -1,0 +1,60 @@
+// Package core implements the sketch/index/query engine at the heart of
+// sketchengine.
+//
+// The pipeline has three stages:
+//
+//  1. Sketching: input records are shingled with a rolling hash and
+//     compressed into compact fixed-size minhash signatures (see Sketcher).
+//  2. Indexing: signatures live in a sharded in-memory Index — N
+//     lock-striped shards keyed by record-name hash, each owning a
+//     contiguous packed signature arena (optionally truncated to b-bit
+//     slots) and LSH band postings — alongside JSON metadata with
+//     incremental add / skip-existing semantics.
+//  3. Querying: pairwise-distance and top-K similarity queries fan out
+//     over a bounded worker pool sized to GOMAXPROCS (see Pool), one
+//     goroutine per shard, each sweeping its arena cache-linearly.
+//     Top-K search runs in LSH mode by default, probing band buckets
+//     for candidates instead of scanning the whole corpus (see
+//     SearchTopKLSH).
+//
+// # Tiered storage
+//
+// An index can optionally scale past RAM (EnableTiered, LoadDir): the
+// in-memory arena becomes a b-bit packed prefilter and the full-width
+// signatures move to immutable on-disk segment files, mmap'd read-only
+// where the platform allows and served by pread elsewhere. Queries then
+// run in two phases — a word-parallel scan of the resident prefilter
+// followed by full-width rescoring of the survivors, ranked by packed
+// score so a top-K heap can stop reading as soon as no remaining
+// candidate's upper bound can beat the current worst result. See
+// docs/ARCHITECTURE.md for the data flow and docs/FORMAT.md for the
+// on-disk layout.
+//
+// # Invariants
+//
+// The package leans on a small set of invariants; code that changes
+// them must change the places that assume them:
+//
+//   - Truncation is monotone: a b-bit packed slot comparison matches
+//     whenever the full-width slots match, so the packed similarity is
+//     an upper bound on the full-width similarity. This is what makes
+//     the tiered prefilter cut and the rescore early-exit exact rather
+//     than approximate (shard.tieredRescore), and what bounds b-bit
+//     over-reporting by the 2^-b collision rate (see the collision-bound
+//     test).
+//   - Band keys are masked to the packed width on both the index and
+//     query side, so a full-width query probes a truncated index's
+//     buckets correctly (LSHParams.bandKey).
+//   - Shard-local row order is append order, shared by the arena, the
+//     names/shingles columns, and the tiered full store: row i of a
+//     shard means the same record in all of them. Tiered segments tile
+//     [0, headBase) contiguously and the mutable head holds rows from
+//     headBase up.
+//   - Format v1–v4 JSON files load byte-compatibly and re-save in the
+//     current JSON format; tiered (v5) indexes persist only through
+//     SaveDir, whose manifest rename is the commit point. Sealed
+//     segment files are immutable — snapshots only add files.
+//   - Sketch signatures, scores, and result ordering are deterministic
+//     for a given corpus and parameters, independent of thread count,
+//     so goldens can pin outputs byte-for-byte.
+package core

@@ -12,17 +12,22 @@ import (
 	"time"
 )
 
-// Index file format versions. V1 files (PR 1) carry no format field and
-// no LSH/shard parameters; they load with defaults applied. V2 files
-// predate sketch schemes; v1 and v2 both load as the legacy KMH scheme.
-// V3 records the scheme in the metadata. V4 records the signature
-// packing width (bits); v1–v3 files predate packing and load as
-// full-width 64-bit arenas. Save always writes the current format.
+// Index format versions. The full compatibility rules — field tables,
+// version-sniffing, value-range checks — are specified normatively in
+// docs/FORMAT.md; the short version: v1 files carry no format field and
+// load with defaults, v1–v2 predate sketch schemes and load as legacy
+// KMH, v1–v3 predate packing and load as full-width 64-bit arenas, v4
+// records the packing width. V5 is not a JSON layout at all but the
+// tiered directory format (MANIFEST.json plus binary segment files)
+// written by SaveDir and read by LoadDir. Save always writes
+// CurrentFormat, which stays v4: the JSON path's bytes are unchanged by
+// the existence of the tiered format.
 const (
 	FormatV1      = 1
 	FormatV2      = 2
 	FormatV3      = 3
 	FormatV4      = 4
+	FormatV5      = 5
 	CurrentFormat = FormatV4
 )
 
@@ -62,7 +67,8 @@ type Index struct {
 	shards []*shard
 	lsh    LSHParams
 	bits   int
-	gen    uint64 // bumped on every successful Add; see Generation
+	gen    uint64     // bumped on every successful Add; see Generation
+	tier   *tierState // non-nil once EnableTiered has run (or LoadDir built the index)
 }
 
 // NewIndex returns an empty index accepting sketches with the given
@@ -170,10 +176,21 @@ func (ix *Index) Add(s *Sketch) (bool, error) {
 	}
 	ix.mu.RLock()
 	shards := ix.shards
+	tiered := ix.tier != nil
 	ix.mu.RUnlock()
+	// A tiered index stores the full-width signature on disk; a
+	// pre-truncated sketch has nothing to store there.
+	if tiered && normSketchBits(s.Bits) != 64 {
+		return false, fmt.Errorf("index %q: tiered index requires full-width sketches, got %d-bit truncated slots",
+			ix.meta.Name, normSketchBits(s.Bits))
+	}
 	// Same-named adds always land on the same shard, whose lock
 	// serializes the existence check against the insert.
-	if !shards[shardFor(s.Name, len(shards))].add(s) {
+	added, err := shards[shardFor(s.Name, len(shards))].add(s)
+	if err != nil {
+		return false, fmt.Errorf("index %q: %w", ix.meta.Name, err)
+	}
+	if !added {
 		return false, nil
 	}
 	ix.mu.Lock()
@@ -324,6 +341,13 @@ func (ix *Index) snapshotShards() []*shard {
 // packing width is preserved (repacking truncated lanes is lossless).
 // It must not run concurrently with Add; it exists so a loaded index
 // can be retuned (e.g. `search -bands ... -shards ...`) before serving.
+//
+// On a tiered index the shard count must stay what it is: on-disk
+// segments are laid out by shard-local row order, and changing the
+// stripe count would reshuffle records across shards and orphan every
+// segment. A band retune keeps the per-shard row order (records are
+// re-added shard by shard in arena order), so each shard's full-width
+// store carries over untouched.
 func (ix *Index) Rebucket(lsh LSHParams, shards int) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -333,12 +357,17 @@ func (ix *Index) Rebucket(lsh LSHParams, shards int) error {
 	if shards <= 0 {
 		return fmt.Errorf("index %q: rebucket: shard count must be positive, got %d", ix.meta.Name, shards)
 	}
+	if ix.tier != nil && shards != len(ix.shards) {
+		return fmt.Errorf("index %q: rebucket: cannot change the shard count of a tiered index (%d -> %d): on-disk segments are per-shard",
+			ix.meta.Name, len(ix.shards), shards)
+	}
 	fresh := newShards(shards, lsh, ix.meta.SignatureSize, ix.bits)
 	sig := make([]uint64, 0, ix.meta.SignatureSize)
 	for _, old := range ix.shards {
 		for i, name := range old.names {
 			sig = old.arena.appendUnpacked(sig[:0], i)
-			fresh[shardFor(name, shards)].add(&Sketch{
+			// fresh shards have no full store attached, so add cannot fail.
+			_, _ = fresh[shardFor(name, shards)].add(&Sketch{
 				Name:      name,
 				K:         ix.meta.K,
 				Shingles:  int(old.shingles[i]),
@@ -346,6 +375,13 @@ func (ix *Index) Rebucket(lsh LSHParams, shards int) error {
 				Bits:      ix.bits,
 				Signature: sig,
 			})
+		}
+	}
+	if ix.tier != nil {
+		// Same shard count and same per-shard insertion order: row
+		// indexes are unchanged, so the full-width stores move over 1:1.
+		for i, old := range ix.shards {
+			fresh[i].full = old.full
 		}
 	}
 	ix.shards = fresh
@@ -366,9 +402,16 @@ type indexFile struct {
 	Sketches []*Sketch `json:"sketches"`
 }
 
-// Save writes the index as JSON in the current format.
+// Save writes the index as JSON in the current format. Tiered indexes
+// refuse: their full-width signatures live in segment files and the
+// JSON layout has no slot for them (writing the truncated lanes under a
+// v4 header would silently discard precision). Use SaveDir.
 func (ix *Index) Save(w io.Writer) error {
 	ix.mu.RLock()
+	if ix.tier != nil {
+		ix.mu.RUnlock()
+		return fmt.Errorf("index %q: tiered index cannot be saved as single-file JSON; use SaveDir", ix.meta.Name)
+	}
 	meta := ix.meta
 	meta.Format = CurrentFormat
 	meta.Bits = ix.bits
@@ -469,9 +512,11 @@ func LoadIndex(r io.Reader) (*Index, error) {
 				return nil, fmt.Errorf("index: invalid metadata: %w", err)
 			}
 		}
+	case FormatV5:
+		return nil, fmt.Errorf("index: format 5 is the tiered directory format, not a JSON file; load its directory with LoadDir")
 	default:
 		return nil, fmt.Errorf("index: format %d is newer than this engine supports (max %d)",
-			f.Meta.Format, CurrentFormat)
+			f.Meta.Format, FormatV5)
 	}
 	meta := f.Meta
 	meta.Format = CurrentFormat
@@ -514,7 +559,9 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		}
 		s.Scheme = scheme
 		s.Bits = bits
-		if !ix.shards[shardFor(s.Name, shards)].add(s) {
+		// Freshly-built shards have no full store attached, so add can
+		// only fail by reporting a duplicate.
+		if added, _ := ix.shards[shardFor(s.Name, shards)].add(s); !added {
 			return nil, fmt.Errorf("index: duplicate sketch name %q", s.Name)
 		}
 		ix.order = append(ix.order, s.Name)

@@ -139,8 +139,8 @@ func TestShardProbeCandidates(t *testing.T) {
 	b := []uint64{1, 2, 9, 9} // shares band 0 with a
 	c := []uint64{7, 7, 7, 7} // shares nothing
 	for name, sig := range map[string][]uint64{"a": a, "b": b, "c": c} {
-		if !sh.add(&Sketch{Name: name, K: 2, Shingles: 1, Signature: sig}) {
-			t.Fatalf("add %q failed", name)
+		if ok, err := sh.add(&Sketch{Name: name, K: 2, Shingles: 1, Signature: sig}); !ok || err != nil {
+			t.Fatalf("add %q failed: %v", name, err)
 		}
 	}
 
@@ -158,8 +158,8 @@ func TestShardProbeCandidates(t *testing.T) {
 	// full-width probe signature: band keys are masked on both sides.
 	sh8 := newShard(p, 4, 8)
 	for name, sig := range map[string][]uint64{"a": a, "b": b, "c": c} {
-		if !sh8.add(&Sketch{Name: name, K: 2, Shingles: 1, Signature: sig}) {
-			t.Fatalf("add %q to 8-bit shard failed", name)
+		if ok, err := sh8.add(&Sketch{Name: name, K: 2, Shingles: 1, Signature: sig}); !ok || err != nil {
+			t.Fatalf("add %q to 8-bit shard failed: %v", name, err)
 		}
 	}
 	got8 := probeNames(sh8, a)

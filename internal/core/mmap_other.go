@@ -1,0 +1,19 @@
+//go:build !linux && !darwin
+
+package core
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapAvailable reports whether this build can memory-map segment
+// files; on platforms without a wired syscall wrapper every segment
+// read goes through the pread fallback instead.
+const mmapAvailable = false
+
+var errNoMmap = errors.New("mmap is not supported on this platform")
+
+func mapFile(*os.File, int) ([]byte, error) { return nil, errNoMmap }
+
+func unmapFile([]byte) error { return nil }

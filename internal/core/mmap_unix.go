@@ -1,0 +1,22 @@
+//go:build linux || darwin
+
+package core
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports whether this build can memory-map segment
+// files. On supported platforms the pread fallback is still used when
+// mapping fails, the host is big-endian, or mapping is disabled (see
+// openSegment and mmapForceFallback).
+const mmapAvailable = true
+
+// mapFile maps size bytes of f read-only and shared. The mapping stays
+// valid after f is closed; release it with unmapFile.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -51,16 +51,27 @@ type packedQuery struct {
 	shingles int
 	slots    int
 	packed   []uint64 // arena-width row image
+	full     []uint64 // full-width signature; set only on tiered indexes
 	bandKeys []uint64 // one bucket key per band; nil outside LSH probes
 }
 
+// scoredCand is one prefilter survivor: a shard-local row index and its
+// packed matched-slot count, which upper-bounds the full-width count.
+type scoredCand struct {
+	idx     int32
+	matched int32
+}
+
 // shardScratch is the per-shard scratch of one query: the candidate
-// bitset and index list filled by the LSH probe, and the shard's local
-// result buffer for parallel scans.
+// bitset and index list filled by the LSH probe, the shard's local
+// result buffer for parallel scans, and (tiered indexes) the prefilter
+// survivor list plus the pread-path row decode buffer.
 type shardScratch struct {
 	candSet []uint64 // bitset over shard-local record indexes
 	cands   []int32
 	results []Result
+	scored  []scoredCand
+	rsc     rowScratch
 }
 
 // resetFor clears the scratch for a shard currently holding n records.
@@ -109,6 +120,11 @@ func (b *searchBuf) prepare(ix *Index, query *Sketch, shards int) *packedQuery {
 		shingles: query.Shingles,
 		slots:    len(query.Signature),
 		packed:   b.packed,
+	}
+	if ix.Tiered() {
+		// checkSearchArgs has already required a full-width query sketch,
+		// so the signature doubles as the rescore image.
+		b.q.full = query.Signature
 	}
 	if cap(b.scratch) < shards {
 		grown := make([]shardScratch, shards)
@@ -205,10 +221,15 @@ func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) 
 	defer putSearchBuf(buf)
 	shards := ix.snapshotShards()
 	q := buf.prepare(ix, query, len(shards))
-	merged := runScan(buf, shards, q, topK, minSim, pool, ix.Len(),
-		func(sh *shard, sc *shardScratch, dst []Result) []Result {
-			return sh.scanAppend(dst, q, minSim)
-		})
+	scan := func(sh *shard, sc *shardScratch, dst []Result) []Result {
+		return sh.scanAppend(dst, q, minSim)
+	}
+	if q.full != nil {
+		scan = func(sh *shard, sc *shardScratch, dst []Result) []Result {
+			return sh.tieredScanAppend(dst, q, minSim, topK, sc)
+		}
+	}
+	merged := runScan(buf, shards, q, topK, minSim, pool, ix.Len(), scan)
 	return finishResults(merged, topK), nil
 }
 
@@ -238,18 +259,26 @@ func SearchTopKLSH(ix *Index, query *Sketch, topK int, minSim float64, pool *Poo
 		sh.probeCandidates(q, &buf.scratch[si])
 		totalCand += len(buf.scratch[si].cands)
 	}
-	merged := runScan(buf, shards, q, topK, minSim, pool, totalCand,
-		func(sh *shard, sc *shardScratch, dst []Result) []Result {
-			return sh.scoreCandidates(dst, q, minSim, sc)
-		})
+	scoreCands := func(sh *shard, sc *shardScratch, dst []Result) []Result {
+		return sh.scoreCandidates(dst, q, minSim, sc)
+	}
+	scanRest := func(sh *shard, sc *shardScratch, dst []Result) []Result {
+		return sh.scanRestAppend(dst, q, minSim, sc)
+	}
+	if q.full != nil {
+		scoreCands = func(sh *shard, sc *shardScratch, dst []Result) []Result {
+			return sh.tieredScoreCandidates(dst, q, minSim, topK, sc)
+		}
+		scanRest = func(sh *shard, sc *shardScratch, dst []Result) []Result {
+			return sh.tieredScanRest(dst, q, minSim, topK, sc)
+		}
+	}
+	merged := runScan(buf, shards, q, topK, minSim, pool, totalCand, scoreCands)
 	if n := ix.Len(); len(merged) < topK && totalCand < n {
 		// Fallback: score only the records the candidate pass skipped
 		// (each shard's bitset marks its probed rows), so no record is
 		// scored twice and the merged set matches an exact scan.
-		merged = runScan(buf, shards, q, topK, minSim, pool, n-totalCand,
-			func(sh *shard, sc *shardScratch, dst []Result) []Result {
-				return sh.scanRestAppend(dst, q, minSim, sc)
-			})
+		merged = runScan(buf, shards, q, topK, minSim, pool, n-totalCand, scanRest)
 	}
 	return finishResults(merged, topK), nil
 }
@@ -323,6 +352,10 @@ func checkSearchArgs(ix *Index, query *Sketch, topK int) error {
 	if b := normSketchBits(query.Bits); b != 64 && b != meta.Bits {
 		return fmt.Errorf("search: query sketch holds %d-bit truncated slots but index %q packs at %d bits",
 			b, meta.Name, meta.Bits)
+	}
+	if ix.Tiered() && normSketchBits(query.Bits) != 64 {
+		return fmt.Errorf("search: tiered index %q requires a full-width query sketch for rescoring, got %d-bit truncated slots",
+			meta.Name, normSketchBits(query.Bits))
 	}
 	return nil
 }

@@ -24,7 +24,8 @@ type shard struct {
 	shingles []int32          // arena row index -> shingle count
 	arena    *sigArena
 	bands    *bandIndex
-	mask     uint64 // lane mask caching laneMask(arena.bits)
+	mask     uint64     // lane mask caching laneMask(arena.bits)
+	full     *fullStore // full-width tier; nil on non-tiered indexes
 }
 
 func newShard(p LSHParams, slots, bits int) *shard {
@@ -45,19 +46,27 @@ func newShards(n int, p LSHParams, slots, bits int) []*shard {
 }
 
 // add packs s's signature onto the arena unless a record with the same
-// name is already present; it reports whether the insert happened.
-func (sh *shard) add(s *Sketch) bool {
+// name is already present; it reports whether the insert happened. On a
+// tiered shard the full-width signature is appended to the on-disk tier
+// first — a seal failure there rolls back cleanly and fails the add
+// before anything is registered, so the tiers never disagree.
+func (sh *shard) add(s *Sketch) (bool, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, exists := sh.ids[s.Name]; exists {
-		return false
+		return false, nil
+	}
+	if sh.full != nil {
+		if err := sh.full.append(s.Signature); err != nil {
+			return false, err
+		}
 	}
 	idx := int32(sh.arena.appendSig(s.Signature))
 	sh.ids[s.Name] = idx
 	sh.names = append(sh.names, s.Name)
 	sh.shingles = append(sh.shingles, int32(s.Shingles))
 	sh.bands.add(idx, s.Signature, sh.mask)
-	return true
+	return true, nil
 }
 
 // size returns the number of records in this stripe.
@@ -76,16 +85,36 @@ func (sh *shard) has(name string) bool {
 	return ok
 }
 
-// getSketch reconstructs the sketch named name from the arena, or
-// returns nil. At packing widths below 64 the slot values are the
-// stored truncated lanes, not the original full-width minhashes (those
-// are gone by design). k and scheme come from the index metadata.
+// getSketch reconstructs the sketch named name, or returns nil. Tiered
+// shards read the full-width tier, so the slot values are the original
+// minhashes even when the prefilter packs at 8 bits. On non-tiered
+// shards at packing widths below 64 the slot values are the stored
+// truncated lanes, not the original full-width minhashes (those are
+// gone by design). k and scheme come from the index metadata.
 func (sh *shard) getSketch(name string, k int, scheme Scheme) *Sketch {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	idx, ok := sh.ids[name]
 	if !ok {
 		return nil
+	}
+	if sh.full != nil {
+		var sc rowScratch
+		row, err := sh.full.row(int(idx), &sc)
+		if err != nil {
+			sh.full.tier.readErrors.Add(1)
+			return nil
+		}
+		sig := make([]uint64, len(row))
+		copy(sig, row)
+		return &Sketch{
+			Name:      name,
+			K:         k,
+			Shingles:  int(sh.shingles[idx]),
+			Scheme:    scheme,
+			Bits:      DefaultBits,
+			Signature: sig,
+		}
 	}
 	return &Sketch{
 		Name:      name,
@@ -95,6 +124,19 @@ func (sh *shard) getSketch(name string, k int, scheme Scheme) *Sketch {
 		Bits:      sh.arena.bits,
 		Signature: sh.arena.appendUnpacked(make([]uint64, 0, sh.arena.slots), int(idx)),
 	}
+}
+
+// tierBytes returns this stripe's tier footprint: sealed segment count,
+// mmap'd payload bytes, unsealed head bytes, and the packed prefilter's
+// live bytes. Zero segments/mapped/head on non-tiered shards.
+func (sh *shard) tierBytes() (segs int, mapped, head, arenaUsed int64) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	arenaUsed = sh.arena.usedBytes()
+	if sh.full == nil {
+		return 0, 0, 0, arenaUsed
+	}
+	return len(sh.full.segs), sh.full.mappedBytes(), sh.full.headBytes(), arenaUsed
 }
 
 // arenaBytes returns this stripe's (used, capacity) signature bytes.
@@ -183,6 +225,139 @@ func (sh *shard) scoreRow(dst []Result, q *packedQuery, minSim float64, idx int3
 	if sim >= minSim {
 		dst = append(dst, Result{Query: q.name, Ref: sh.names[idx], Similarity: sim, Distance: 1 - sim})
 	}
+	return dst
+}
+
+// tieredScanAppend is scanAppend for tiered shards: prefilter every
+// row against the packed arena, then rescore the survivors full-width
+// in packed-score order (see tieredRescore). It appends at most topK
+// results — the per-shard top-K contains the shard's contribution to
+// any global top-K, which is exactly what runScan's merge needs.
+func (sh *shard) tieredScanAppend(dst []Result, q *packedQuery, minSim float64, topK int, sc *shardScratch) []Result {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sc.scored = sc.scored[:0]
+	for i := range sh.names {
+		sh.prefilterRow(q, minSim, int32(i), sc)
+	}
+	return sh.tieredRescore(dst, q, minSim, topK, sc, len(sh.names))
+}
+
+// tieredScoreCandidates is scoreCandidates for tiered shards: the LSH
+// probe's candidates go through the same prefilter→rescore pipeline.
+func (sh *shard) tieredScoreCandidates(dst []Result, q *packedQuery, minSim float64, topK int, sc *shardScratch) []Result {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sc.scored = sc.scored[:0]
+	for _, idx := range sc.cands {
+		sh.prefilterRow(q, minSim, idx, sc)
+	}
+	return sh.tieredRescore(dst, q, minSim, topK, sc, len(sc.cands))
+}
+
+// tieredScanRest is scanRestAppend for tiered shards: prefilter and
+// rescore only the rows the candidate pass skipped.
+func (sh *shard) tieredScanRest(dst []Result, q *packedQuery, minSim float64, topK int, sc *shardScratch) []Result {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	probed := len(sc.candSet) << 6
+	sc.scored = sc.scored[:0]
+	n := 0
+	for i := range sh.names {
+		if i < probed && sc.candSet[i>>6]&(1<<uint(i&63)) != 0 {
+			continue
+		}
+		n++
+		sh.prefilterRow(q, minSim, int32(i), sc)
+	}
+	return sh.tieredRescore(dst, q, minSim, topK, sc, n)
+}
+
+// prefilterRow packed-scores one arena row and appends it to sc.scored
+// unless its packed similarity is already below minSim. The packed
+// score is an upper bound on the full-width score (a truncated slot
+// matches whenever the full slot does), so this cut never drops a row
+// the full scan would have kept. Callers hold the shard lock.
+func (sh *shard) prefilterRow(q *packedQuery, minSim float64, idx int32, sc *shardScratch) {
+	var m int
+	var sim float64
+	if q.slots != 0 && q.shingles != 0 && sh.shingles[idx] != 0 {
+		m = packedMatchingSlots(q.packed, sh.arena.row(int(idx)), q.slots, sh.arena.bits)
+		sim = float64(m) / float64(q.slots)
+	}
+	if sim < minSim {
+		return
+	}
+	sc.scored = append(sc.scored, scoredCand{idx: idx, matched: int32(m)})
+}
+
+// tieredRescore reads the prefilter survivors in sc.scored full-width
+// from the shard's tier, best packed score first, and appends the
+// shard's top-K results to dst. Because the packed score upper-bounds
+// the full score, the walk stops as soon as the next candidate's bound
+// falls below the K-th best full score found so far — on selective
+// queries only a handful of rows are ever read from disk. A positive
+// tier budget additionally caps the full-width reads; rows that fail to
+// read are counted and skipped rather than failing the query. scanned
+// is the row count the prefilter phase covered, for the survival-rate
+// counters. Callers hold the shard lock.
+func (sh *shard) tieredRescore(dst []Result, q *packedQuery, minSim float64, topK int, sc *shardScratch, scanned int) []Result {
+	t := sh.full.tier
+	t.scanned.Add(uint64(scanned))
+	t.survived.Add(uint64(len(sc.scored)))
+	if len(sc.scored) == 0 {
+		return dst
+	}
+	slices.SortFunc(sc.scored, func(a, b scoredCand) int {
+		if a.matched != b.matched {
+			return int(b.matched - a.matched)
+		}
+		return int(a.idx - b.idx)
+	})
+	budget := int(t.budget.Load())
+	base := len(dst)
+	rescored := 0
+	slotsF := float64(q.slots)
+	for _, c := range sc.scored {
+		if budget > 0 && rescored >= budget {
+			break
+		}
+		if len(dst)-base >= topK && float64(c.matched)/slotsF < dst[base].Similarity {
+			// dst[base] is the root of the min-heap below: the K-th best
+			// full score. No remaining candidate's upper bound reaches it.
+			break
+		}
+		row, err := sh.full.row(int(c.idx), &sc.rsc)
+		if err != nil {
+			t.readErrors.Add(1)
+			continue
+		}
+		rescored++
+		if sh.names[c.idx] == q.name && slices.Equal(q.full, row) {
+			continue
+		}
+		var sim float64
+		if q.slots != 0 && q.shingles != 0 && sh.shingles[c.idx] != 0 {
+			sim = float64(matchingSlots(q.full, row)) / slotsF
+		}
+		if sim < minSim {
+			continue
+		}
+		r := Result{Query: q.name, Ref: sh.names[c.idx], Similarity: sim, Distance: 1 - sim}
+		if len(dst)-base < topK {
+			dst = append(dst, r)
+			if len(dst)-base == topK {
+				h := dst[base:]
+				for i := topK/2 - 1; i >= 0; i-- {
+					siftWorstDown(h, i)
+				}
+			}
+		} else if resultBetter(r, dst[base]) {
+			dst[base] = r
+			siftWorstDown(dst[base:base+topK], 0)
+		}
+	}
+	t.rescored.Add(uint64(rescored))
 	return dst
 }
 

@@ -1,0 +1,623 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tieredEngines builds two engines over the same n records: a tiered
+// one with an 8-bit prefilter and tiny segments (so sealing happens in
+// every test) and a plain full-width in-RAM one. The tiered engine's
+// exact-cut rescore must make the pair indistinguishable to callers.
+func tieredEngines(tb testing.TB, n int, segRows int) (tiered, plain *Engine) {
+	tb.Helper()
+	tiered, err := NewEngine(Options{
+		IndexName: "tiered", Bits: 8,
+		Tiered: true, DataDir: tb.TempDir(), SegmentRows: segRows,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { tiered.Index().Close() })
+	plain, err = NewEngine(Options{IndexName: "plain"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))}
+		if _, err := tiered.Add(rec); err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := plain.Add(rec); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return tiered, plain
+}
+
+// TestTieredSearchMatchesNonTiered is the tentpole's correctness
+// property: because the packed b-bit score is an upper bound on the
+// full-width score, the prefilter's minSim cut and the sorted-rescore
+// early exit are both exact, and a tiered 8-bit index must return
+// byte-identical results to a full-width in-RAM index — every mode,
+// every minSim, including the self-exclusion of indexed queries.
+func TestTieredSearchMatchesNonTiered(t *testing.T) {
+	tiered, plain := tieredEngines(t, 600, 16)
+	queries := []*Sketch{
+		plain.Sketcher().Sketch(Record{Name: "q-near", Data: benchData(256, 1)}),
+		plain.Sketcher().Sketch(Record{Name: "q-far", Data: benchData(256, 99999)}),
+		plain.Index().Get("rec-7"), // indexed: self-hit must stay excluded
+	}
+	for _, q := range queries {
+		for _, minSim := range []float64{0, 0.1, 0.5, 0.9} {
+			for mode, search := range map[string]func(*Index, *Sketch, int, float64, *Pool) ([]Result, error){
+				"exact": SearchTopK, "lsh": SearchTopKLSH,
+			} {
+				want, err := search(plain.Index(), q, 10, minSim, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := search(tiered.Index(), q, 10, minSim, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s q=%s minSim=%v: tiered returned %d results, plain %d",
+						mode, q.Name, minSim, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s q=%s minSim=%v result %d: tiered %+v, plain %+v",
+							mode, q.Name, minSim, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	// The scan actually went through the tier: rows were prefiltered and
+	// survivors rescored from segments.
+	st := tiered.Index().Tier()
+	if st == nil || st.PrefilterScanned == 0 || st.Rescored == 0 {
+		t.Fatalf("tier stats after searches: %+v", st)
+	}
+	if st.Segments == 0 || st.PrefilterBits != 8 {
+		t.Fatalf("tier shape: %+v, want sealed segments and an 8-bit prefilter", st)
+	}
+}
+
+// TestTieredSimilarityIsFullWidth pins the rescore half of the
+// collision-bound property: the packed score may over-count (low-bit
+// collisions), but every reported similarity must be computed from the
+// full-width signature, exactly matchingSlots/slots — never the
+// inflated prefilter value.
+func TestTieredSimilarityIsFullWidth(t *testing.T) {
+	const slots = DefaultSignatureSize
+	eng, err := NewEngine(Options{
+		IndexName: "fw", Bits: 8,
+		Tiered: true, DataDir: t.TempDir(), SegmentRows: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Index().Close()
+	s := eng.Sketcher()
+	// Records across the overlap spectrum, like the collision-bound
+	// test: each edits a random-length prefix of the query's payload.
+	data := benchData(2048, 7)
+	var sketches []*Sketch
+	for i := 0; i < 60; i++ {
+		edited := append([]byte(nil), data...)
+		for j := 0; j < (i*len(edited))/60; j++ {
+			edited[j] = byte('A' + (i+j)%26)
+		}
+		sk := s.Sketch(Record{Name: fmt.Sprintf("y-%d", i), Data: edited})
+		sketches = append(sketches, sk)
+		if _, err := eng.Index().Add(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := s.Sketch(Record{Name: "x", Data: data})
+	got, err := SearchTopK(eng.Index(), q, len(sketches), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sketches) {
+		t.Fatalf("got %d results, want %d", len(got), len(sketches))
+	}
+	bySketch := make(map[string]*Sketch, len(sketches))
+	for _, sk := range sketches {
+		bySketch[sk.Name] = sk
+	}
+	for _, r := range got {
+		want := float64(matchingSlots(q.Signature, bySketch[r.Ref].Signature)) / float64(slots)
+		if r.Similarity != want {
+			t.Fatalf("result %s: similarity %v, want full-width %v", r.Ref, r.Similarity, want)
+		}
+	}
+}
+
+func TestTieredSaveDirLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := NewEngine(Options{
+		IndexName: "rt", Bits: 8,
+		Tiered: true, DataDir: dir, SegmentRows: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Index().Close()
+	for i := 0; i < 300; i++ {
+		if _, err := eng.Add(Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := eng.Index()
+	q := eng.Sketcher().Sketch(Record{Name: "q", Data: benchData(256, 3)})
+	before, err := SearchTopK(ix, q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveDir(); err != nil {
+		t.Fatal(err)
+	}
+	if !IsTieredDir(dir) {
+		t.Fatalf("IsTieredDir(%s) = false after SaveDir", dir)
+	}
+
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	defer got.Close()
+	gm, wm := got.Metadata(), ix.Metadata()
+	if gm.Format != FormatV5 || gm.Bits != 8 || gm.RecordCount != 300 ||
+		gm.Name != wm.Name || gm.K != wm.K || gm.SignatureSize != wm.SignatureSize ||
+		gm.Scheme != wm.Scheme || gm.Shards != wm.Shards {
+		t.Fatalf("loaded metadata = %+v, want to match %+v", gm, wm)
+	}
+	// Full-width signatures survive the trip through segment files.
+	for _, name := range []string{"rec-0", "rec-150", "rec-299"} {
+		if !equalSig(got.Get(name).Signature, ix.Get(name).Signature) {
+			t.Fatalf("sketch %q changed across SaveDir/LoadDir", name)
+		}
+	}
+	after, err := SearchTopK(got, q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("result %d changed across round trip: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+
+	// Incremental snapshot: add to the loaded index and save again. The
+	// second snapshot appends new segments (sealed files are immutable)
+	// and a third load sees everything.
+	segsBefore := countSegments(t, dir)
+	s := eng.Sketcher()
+	for i := 300; i < 400; i++ {
+		if _, err := got.Add(s.Sketch(Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := got.SaveDir(); err != nil {
+		t.Fatal(err)
+	}
+	if segsAfter := countSegments(t, dir); segsAfter <= segsBefore {
+		t.Fatalf("second snapshot did not append segments: %d -> %d", segsBefore, segsAfter)
+	}
+	again, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir after incremental snapshot: %v", err)
+	}
+	defer again.Close()
+	if again.Len() != 400 || again.Get("rec-399") == nil {
+		t.Fatalf("incremental snapshot lost records: len=%d", again.Len())
+	}
+	// No temp files may be left behind anywhere in the data dir.
+	for _, sub := range []string{dir, filepath.Join(dir, "segments")} {
+		entries, err := os.ReadDir(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				t.Fatalf("temp file %s left in %s", e.Name(), sub)
+			}
+		}
+	}
+}
+
+func countSegments(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, "segments"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			n++
+		}
+	}
+	return n
+}
+
+// saveTieredDir builds a small tiered index, snapshots it into dir, and
+// returns the path of one sealed segment file.
+func saveTieredDir(t *testing.T, dir string) string {
+	t.Helper()
+	eng, err := NewEngine(Options{
+		IndexName: "corrupt", Bits: 8,
+		Tiered: true, DataDir: dir, SegmentRows: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Index().Close()
+	for i := 0; i < 100; i++ {
+		if _, err := eng.Add(Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Index().SaveDir(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "segments", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files written: %v", err)
+	}
+	return segs[0]
+}
+
+// TestLoadDirRejectsCorruptSegments: every way a segment file can rot —
+// truncation, bit flips in the payload, a clobbered header, a missing
+// file — must fail the load with an error naming the file and the
+// failing check, never load wrong data.
+func TestLoadDirRejectsCorruptSegments(t *testing.T) {
+	cases := map[string]struct {
+		corrupt func(t *testing.T, seg string)
+		wantErr string
+	}{
+		"truncated": {func(t *testing.T, seg string) {
+			fi, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(seg, fi.Size()-8); err != nil {
+				t.Fatal(err)
+			}
+		}, "truncated"},
+		"payload bit flip": {func(t *testing.T, seg string) {
+			b, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)-1] ^= 0x40
+			if err := os.WriteFile(seg, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "checksum"},
+		"bad magic": {func(t *testing.T, seg string) {
+			b, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(b[0:4], "NOPE")
+			if err := os.WriteFile(seg, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "magic"},
+		"missing file": {func(t *testing.T, seg string) {
+			if err := os.Remove(seg); err != nil {
+				t.Fatal(err)
+			}
+		}, "no such file"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			seg := saveTieredDir(t, dir)
+			tc.corrupt(t, seg)
+			ix, err := LoadDir(dir)
+			if err == nil {
+				ix.Close()
+				t.Fatalf("LoadDir loaded a corrupt directory")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), filepath.Base(seg)) && name != "missing file" {
+				t.Fatalf("error %q does not name the corrupt file %s", err, filepath.Base(seg))
+			}
+		})
+	}
+	// A corrupted manifest is rejected too.
+	t.Run("corrupt manifest", func(t *testing.T) {
+		dir := t.TempDir()
+		saveTieredDir(t, dir)
+		if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if ix, err := LoadDir(dir); err == nil {
+			ix.Close()
+			t.Fatal("LoadDir accepted a corrupt manifest")
+		}
+	})
+}
+
+// TestSegmentPreadFallback forces the non-mmap path (the same one
+// non-Unix builds and exotic filesystems take) and checks the tier is
+// fully functional on it: sealing, loading, row reads, and searches all
+// agree with the mmap path, with MappedBytes reporting zero.
+func TestSegmentPreadFallback(t *testing.T) {
+	old := mmapForceFallback
+	mmapForceFallback = true
+	defer func() { mmapForceFallback = old }()
+
+	tiered, plain := tieredEngines(t, 300, 32)
+	if st := tiered.Index().Tier(); st.MappedBytes != 0 {
+		t.Fatalf("fallback path reports %d mapped bytes, want 0", st.MappedBytes)
+	}
+	q := plain.Sketcher().Sketch(Record{Name: "q", Data: benchData(256, 5)})
+	want, err := SearchTopK(plain.Index(), q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SearchTopK(tiered.Index(), q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pread result %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Round trip on the fallback path too.
+	if err := tiered.Index().SaveDir(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(tiered.Index().DataDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	got, err = SearchTopK(loaded, q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pread round-trip result %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEnableTieredUpgradesV4 is the migration path: a legacy v4 JSON
+// index upgrades in place to a tiered v5 directory — full-width slots
+// re-truncate losslessly into the requested prefilter width, search
+// results stay identical, and the directory round-trips.
+func TestEnableTieredUpgradesV4(t *testing.T) {
+	eng, err := NewEngine(Options{IndexName: "v4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := eng.Add(Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := eng.Index().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eng.Sketcher().Sketch(Record{Name: "q", Data: benchData(256, 11)})
+	want, err := SearchTopK(ix, q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := ix.EnableTiered(dir, 64, 8); err != nil {
+		t.Fatalf("EnableTiered: %v", err)
+	}
+	defer ix.Close()
+	if m := ix.Metadata(); m.Format != FormatV5 || m.Bits != 8 || !ix.Tiered() {
+		t.Fatalf("upgraded metadata = %+v", m)
+	}
+	got, err := SearchTopK(ix, q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("upgrade changed result %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := ix.SaveDir(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	got, err = SearchTopK(loaded, q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("upgraded round trip changed result %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// A populated truncated index discarded its full-width slots at add
+	// time and cannot upgrade.
+	eng8, err := NewEngine(Options{IndexName: "v4-8bit", Bits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng8.Add(Record{Name: "rec", Data: benchData(256, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng8.Index().EnableTiered(t.TempDir(), 0, 0); err == nil ||
+		!strings.Contains(err.Error(), "full-width") {
+		t.Fatalf("EnableTiered on populated 8-bit index: err = %v, want full-width rejection", err)
+	}
+}
+
+// TestTieredBudgetCapsRescores: a positive budget must bound the
+// full-width reads a query spends per shard, and budget 0 must not.
+func TestTieredBudgetCapsRescores(t *testing.T) {
+	tiered, _ := tieredEngines(t, 600, 16)
+	ix := tiered.Index()
+	q := tiered.Sketcher().Sketch(Record{Name: "q", Data: benchData(256, 2)})
+
+	ix.SetBudget(2)
+	if ix.Budget() != 2 {
+		t.Fatalf("Budget() = %d after SetBudget(2)", ix.Budget())
+	}
+	before := ix.Tier().Rescored
+	if _, err := SearchTopK(ix, q, 10, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	delta := ix.Tier().Rescored - before
+	maxRescores := uint64(2 * ix.Metadata().Shards)
+	if delta == 0 || delta > maxRescores {
+		t.Fatalf("budgeted search rescored %d rows, want 1..%d", delta, maxRescores)
+	}
+
+	ix.SetBudget(0)
+	before = ix.Tier().Rescored
+	if _, err := SearchTopK(ix, q, 600, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if delta := ix.Tier().Rescored - before; delta <= maxRescores {
+		t.Fatalf("unbounded topK=600 search rescored only %d rows", delta)
+	}
+}
+
+// TestTieredSearchRejectsTruncatedQuery: rescoring needs the query's
+// full-width signature; a pre-truncated query sketch cannot be scored
+// against the tier and must be rejected up front.
+func TestTieredSearchRejectsTruncatedQuery(t *testing.T) {
+	tiered, _ := tieredEngines(t, 50, 32)
+	q := tiered.Sketcher().Sketch(Record{Name: "q", Data: benchData(256, 2)})
+	q.Bits = 8
+	if _, err := SearchTopK(tiered.Index(), q, 5, 0, nil); err == nil ||
+		!strings.Contains(err.Error(), "full-width") {
+		t.Fatalf("truncated query on tiered index: err = %v, want full-width requirement", err)
+	}
+}
+
+// TestTieredSaveFormats: tiered indexes persist through SaveDir only —
+// the JSON writer has nowhere to put segments — and a v5 format number
+// in a JSON file redirects the reader to LoadDir.
+func TestTieredSaveFormats(t *testing.T) {
+	tiered, _ := tieredEngines(t, 20, 32)
+	var buf bytes.Buffer
+	if err := tiered.Index().Save(&buf); err == nil ||
+		!strings.Contains(err.Error(), "SaveDir") {
+		t.Fatalf("JSON Save on tiered index: err = %v, want SaveDir redirect", err)
+	}
+	const v5 = `{"meta":{"name":"x","format":5,"k":4,"signature_size":2,"scheme":"oph","bits":8,"bands":1,"rows_per_band":2,"shards":4},"sketches":[]}`
+	if _, err := LoadIndex(bytes.NewReader([]byte(v5))); err == nil ||
+		!strings.Contains(err.Error(), "LoadDir") {
+		t.Fatalf("LoadIndex of a v5 file: err = %v, want LoadDir redirect", err)
+	}
+}
+
+// TestTieredGetSketchFullWidth: Get on a tiered index reconstructs the
+// record from the full-width tier, not the truncated prefilter.
+func TestTieredGetSketchFullWidth(t *testing.T) {
+	tiered, plain := tieredEngines(t, 100, 32)
+	for _, name := range []string{"rec-0", "rec-50", "rec-99"} {
+		got, want := tiered.Index().Get(name), plain.Index().Get(name)
+		if got == nil || !equalSig(got.Signature, want.Signature) {
+			t.Fatalf("tiered Get(%q) = %v, want the full-width signature", name, got)
+		}
+		if got.Bits != 64 {
+			t.Fatalf("tiered Get(%q).Bits = %d, want 64", name, got.Bits)
+		}
+	}
+}
+
+// TestTieredRebucket: band retuning works on a tiered index (the full
+// tier is carried shard-for-shard), but resharding would renumber the
+// tier's shard-local rows and is rejected.
+func TestTieredRebucket(t *testing.T) {
+	tiered, plain := tieredEngines(t, 300, 64)
+	ix := tiered.Index()
+	meta := ix.Metadata()
+	lsh, err := NewLSHParams(16, 8, meta.SignatureSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Rebucket(lsh, meta.Shards); err != nil {
+		t.Fatalf("Rebucket with same shard count: %v", err)
+	}
+	q := plain.Sketcher().Sketch(Record{Name: "q", Data: benchData(256, 9)})
+	want, err := SearchTopK(plain.Index(), q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SearchTopK(ix, q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-rebucket result %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := ix.Rebucket(lsh, meta.Shards*2); err == nil ||
+		!strings.Contains(err.Error(), "shard") {
+		t.Fatalf("Rebucket with new shard count on tiered index: err = %v, want rejection", err)
+	}
+}
+
+// BenchmarkTieredSearch reports the tier-health metrics bench-compare
+// watches: the prefilter survival rate (fraction of rows whose packed
+// score cleared minSim and went to ranking) and mapped segment bytes
+// per record.
+func BenchmarkTieredSearch(b *testing.B) {
+	const n = 5000
+	eng, err := NewEngine(Options{
+		IndexName: "bench", Bits: 8,
+		Tiered: true, DataDir: b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Index().Close()
+	for i := 0; i < n; i++ {
+		if _, err := eng.Add(Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := eng.Index().SaveDir(); err != nil {
+		b.Fatal(err)
+	}
+	q := eng.Sketcher().Sketch(Record{Name: "q", Data: benchData(256, 42)})
+	pool := NewPool(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchTopK(eng.Index(), q, 10, 0.5, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := eng.Index().Tier()
+	b.ReportMetric(st.SurvivalRate, "survival")
+	b.ReportMetric(float64(st.MappedBytes)/float64(n), "mappedB/rec")
+}

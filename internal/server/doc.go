@@ -1,0 +1,30 @@
+// Package server exposes a core.Engine over HTTP JSON as a long-lived
+// serving layer: batched ingest through a bounded coalescing queue,
+// top-K search with per-request overrides, record lookup, health and
+// stats endpoints, periodic and shutdown snapshots, a configurable
+// concurrency limit, and graceful connection draining.
+//
+// Lifecycle: New -> Listen -> Serve(ctx). Canceling ctx drains in-flight
+// requests (bounded by DrainTimeout), flushes the ingest queue, and
+// writes a final snapshot. Handler is exported for in-process tests
+// that skip the listener; such callers must Close the server
+// themselves.
+//
+// # Invariants
+//
+//   - Acknowledged ingest survives shutdown: a 200 on /v1/records means
+//     the records reach the next snapshot. Shutdown orders handler
+//     drain, then queue flush, then the final snapshot, so nothing
+//     acknowledged can be lost to a clean SIGTERM.
+//   - Snapshots are atomic at their commit point — the file rename in
+//     SaveFile for JSON indexes (Config.IndexPath), the manifest rename
+//     in SaveDir for tiered indexes (Config.DataDir). A crash mid-save
+//     leaves the previous snapshot intact. Tiered snapshots only append
+//     segment files; sealed segments are never rewritten, so periodic
+//     snapshot cost tracks the ingest delta.
+//   - Snapshots are generation-gated: an unchanged index is never
+//     rewritten by the periodic timer.
+//   - /stats is cheap and lock-light; its engine block includes the
+//     tier sub-object (resident vs mapped bytes, prefilter survival)
+//     exactly when the served index is tiered.
+package server

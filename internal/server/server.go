@@ -1,14 +1,3 @@
-// Package server exposes a core.Engine over HTTP JSON as a long-lived
-// serving layer: batched ingest through a bounded coalescing queue,
-// top-K search with per-request overrides, record lookup, health and
-// stats endpoints, periodic and shutdown snapshots, a configurable
-// concurrency limit, and graceful connection draining.
-//
-// Lifecycle: New -> Listen -> Serve(ctx). Canceling ctx drains in-flight
-// requests (bounded by DrainTimeout), flushes the ingest queue, and
-// writes a final snapshot, so a SIGTERM never loses acknowledged
-// records. Handler is exported for in-process tests that skip the
-// listener; such callers must Close the server themselves.
 package server
 
 import (
@@ -18,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -39,10 +29,18 @@ type Config struct {
 	// Addr is the listen address, e.g. ":8080". Port 0 picks a free
 	// port; Listen returns the bound address.
 	Addr string
-	// IndexPath is the snapshot destination. Snapshots reuse the index's
-	// atomic SaveFile (temp file + fsync + rename), so a crash mid-save
-	// never corrupts the previous snapshot. Empty disables snapshots.
+	// IndexPath is the snapshot destination for non-tiered indexes.
+	// Snapshots reuse the index's atomic SaveFile (temp file + fsync +
+	// rename), so a crash mid-save never corrupts the previous snapshot.
+	// Empty disables JSON snapshots.
 	IndexPath string
+	// DataDir is the tiered index directory. When set, the served index
+	// must be tiered and snapshots go through SaveDir instead of
+	// SaveFile: each cycle seals the shards' unsealed rows into new
+	// immutable segment files and atomically rewrites the small
+	// manifest, so snapshot cost tracks the ingest delta rather than the
+	// index size.
+	DataDir string
 	// SnapshotEvery is the periodic snapshot interval; 0 disables the
 	// timer (a final snapshot is still written on shutdown). Snapshots
 	// are skipped while the index generation is unchanged.
@@ -106,13 +104,27 @@ func New(eng *core.Engine, cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
 	}
+	if cfg.DataDir != "" {
+		if !eng.Index().Tiered() {
+			return nil, errors.New("server: DataDir is set but the index is not tiered")
+		}
+		if got := eng.Index().DataDir(); got != cfg.DataDir {
+			return nil, fmt.Errorf("server: DataDir %s does not match the index's data directory %s", cfg.DataDir, got)
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		eng:      eng,
 		metrics:  newMetrics(),
 		savedGen: eng.Index().Generation(),
 	}
-	if cfg.IndexPath != "" {
+	if cfg.DataDir != "" {
+		if _, err := os.Stat(filepath.Join(cfg.DataDir, core.ManifestFile)); err != nil {
+			// No committed manifest yet: force the first snapshot so a
+			// freshly created tiered index materializes on disk.
+			s.forceSnap = true
+		}
+	} else if cfg.IndexPath != "" {
 		if _, err := os.Stat(cfg.IndexPath); err != nil {
 			// No snapshot file yet: force the first snapshot so a freshly
 			// created index materializes on disk even before any ingest.
@@ -158,7 +170,7 @@ func (s *Server) Serve(ctx context.Context) error {
 	go func() { errc <- hs.Serve(s.lis) }()
 
 	var tick <-chan time.Time
-	if s.cfg.IndexPath != "" && s.cfg.SnapshotEvery > 0 {
+	if (s.cfg.IndexPath != "" || s.cfg.DataDir != "") && s.cfg.SnapshotEvery > 0 {
 		t := time.NewTicker(s.cfg.SnapshotEvery)
 		defer t.Stop()
 		tick = t.C
@@ -169,7 +181,7 @@ func (s *Server) Serve(ctx context.Context) error {
 			if wrote, err := s.Snapshot(); err != nil {
 				s.logf("snapshot error: %v", err)
 			} else if wrote {
-				s.logf("snapshot written to %s (generation %d)", s.cfg.IndexPath, s.savedGeneration())
+				s.logf("snapshot written to %s (generation %d)", s.snapshotDest(), s.savedGeneration())
 			}
 		case err := <-errc:
 			// Listener failure outside a requested shutdown; still flush
@@ -207,12 +219,21 @@ func (s *Server) Close() error {
 	return s.closeErr
 }
 
-// Snapshot writes the index to IndexPath if it changed since the last
-// snapshot (or none exists yet), reporting whether a file was written.
-// It is safe for concurrent use and a no-op when snapshots are
-// disabled.
+// snapshotDest names where snapshots land, for logs.
+func (s *Server) snapshotDest() string {
+	if s.cfg.DataDir != "" {
+		return s.cfg.DataDir
+	}
+	return s.cfg.IndexPath
+}
+
+// Snapshot writes the index to its snapshot destination — the tiered
+// data directory via SaveDir when DataDir is set, the JSON IndexPath
+// via SaveFile otherwise — if it changed since the last snapshot (or
+// none exists yet), reporting whether anything was written. It is safe
+// for concurrent use and a no-op when snapshots are disabled.
 func (s *Server) Snapshot() (bool, error) {
-	if s.cfg.IndexPath == "" {
+	if s.cfg.IndexPath == "" && s.cfg.DataDir == "" {
 		return false, nil
 	}
 	s.snapMu.Lock()
@@ -221,7 +242,13 @@ func (s *Server) Snapshot() (bool, error) {
 	if gen == s.savedGen && !s.forceSnap {
 		return false, nil
 	}
-	if err := s.eng.Index().SaveFile(s.cfg.IndexPath); err != nil {
+	var err error
+	if s.cfg.DataDir != "" {
+		err = s.eng.Index().SaveDir()
+	} else {
+		err = s.eng.Index().SaveFile(s.cfg.IndexPath)
+	}
+	if err != nil {
 		return false, err
 	}
 	// Records added between the generation read and the save are in the

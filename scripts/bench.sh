@@ -51,19 +51,24 @@ BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; iters = $2
     ns = ""; bytes_op = ""; allocs = ""; mb_s = ""; bytes_rec = ""
+    survival = ""; mapped_rec = ""
     for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns = $i
-        if ($(i+1) == "B/op")      bytes_op = $i
-        if ($(i+1) == "allocs/op") allocs = $i
-        if ($(i+1) == "MB/s")      mb_s = $i
-        if ($(i+1) == "bytes/rec") bytes_rec = $i
+        if ($(i+1) == "ns/op")       ns = $i
+        if ($(i+1) == "B/op")        bytes_op = $i
+        if ($(i+1) == "allocs/op")   allocs = $i
+        if ($(i+1) == "MB/s")        mb_s = $i
+        if ($(i+1) == "bytes/rec")   bytes_rec = $i
+        if ($(i+1) == "survival")    survival = $i
+        if ($(i+1) == "mappedB/rec") mapped_rec = $i
     }
     line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
-    if (ns != "")        line = line sprintf(", \"ns_per_op\": %s", ns)
-    if (mb_s != "")      line = line sprintf(", \"mb_per_s\": %s", mb_s)
-    if (bytes_rec != "") line = line sprintf(", \"bytes_per_record\": %s", bytes_rec)
-    if (bytes_op != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes_op)
-    if (allocs != "")    line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    if (ns != "")         line = line sprintf(", \"ns_per_op\": %s", ns)
+    if (mb_s != "")       line = line sprintf(", \"mb_per_s\": %s", mb_s)
+    if (bytes_rec != "")  line = line sprintf(", \"bytes_per_record\": %s", bytes_rec)
+    if (survival != "")   line = line sprintf(", \"survival_rate\": %s", survival)
+    if (mapped_rec != "") line = line sprintf(", \"mapped_bytes_per_record\": %s", mapped_rec)
+    if (bytes_op != "")   line = line sprintf(", \"bytes_per_op\": %s", bytes_op)
+    if (allocs != "")     line = line sprintf(", \"allocs_per_op\": %s", allocs)
     results[n++] = line "}"
 }
 END {
@@ -84,9 +89,10 @@ END {
 
 # extract FILE — benchmark name/metric/value triples, one per line,
 # with the GOMAXPROCS suffix stripped so runs from machines with
-# different core counts stay comparable. Covers both the time metric
-# (ns/op) and the memory metric (bytes/rec), so the compare step gates
-# speed and footprint regressions alike.
+# different core counts stay comparable. Covers the time metric
+# (ns/op), the memory metric (bytes/rec), and the tier-health metrics
+# (survival rate, mapped bytes per record), so the compare step gates
+# speed, footprint, and prefilter-selectivity regressions alike.
 extract() {
     awk -F'"' '/"name":/ {
         name = $4
@@ -95,6 +101,10 @@ extract() {
             print name "\tns/op\t" substr($0, RSTART + 13, RLENGTH - 13)
         if (match($0, /"bytes_per_record": [0-9.]+/))
             print name "\tbytes/rec\t" substr($0, RSTART + 20, RLENGTH - 20)
+        if (match($0, /"survival_rate": [0-9.]+/))
+            print name "\tsurvival\t" substr($0, RSTART + 17, RLENGTH - 17)
+        if (match($0, /"mapped_bytes_per_record": [0-9.]+/))
+            print name "\tmappedB/rec\t" substr($0, RSTART + 27, RLENGTH - 27)
     }' "$1"
 }
 

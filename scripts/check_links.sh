@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# check_links.sh — verify that relative markdown links and heading
+# anchors in the repo's documentation resolve. Catches renamed files,
+# moved sections, and typo'd anchors before they land as dead links.
+#
+# Scope: README.md, ROADMAP.md, and everything under docs/. External
+# (http/https/mailto) links are not fetched — this is a structural
+# check, not a liveness probe.
+#
+# Usage: scripts/check_links.sh [file ...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+    files=(README.md ROADMAP.md)
+    while IFS= read -r f; do files+=("$f"); done < <(find docs -name '*.md' 2>/dev/null | sort)
+fi
+
+# github_anchor TEXT — the GitHub-style anchor for a heading: lowercase,
+# spaces to dashes, punctuation (except dashes/underscores) stripped.
+# Inline code spans and links contribute their text.
+github_anchor() {
+    printf '%s' "$1" |
+        sed -E 's/\[([^]]*)\]\([^)]*\)/\1/g; s/`//g' |
+        tr '[:upper:]' '[:lower:]' |
+        sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+    echo
+}
+
+# anchors_of FILE — every heading anchor the file defines, one per
+# line, with GitHub's -1, -2 suffixes for duplicates.
+anchors_of() {
+    local file="$1"
+    awk '/^```/ { fence = !fence } !fence && /^#+ / { sub(/^#+ /, ""); print }' "$file" |
+        while IFS= read -r heading; do
+            github_anchor "$heading"
+        done |
+        awk '{ if (seen[$0]++) print $0 "-" seen[$0]-1; else print }'
+}
+
+fail=0
+
+for file in "${files[@]}"; do
+    [[ -f "$file" ]] || { echo "check_links: $file not found" >&2; fail=1; continue; }
+    dir="$(dirname "$file")"
+
+    # Pull every inline markdown link target out of the file. Code
+    # fences are skipped so shell snippets with [brackets](parens)
+    # don't false-positive.
+    while IFS= read -r target; do
+        case "$target" in
+        http://*|https://*|mailto:*) continue ;;
+        esac
+        path="${target%%#*}"
+        anchor=""
+        [[ "$target" == *#* ]] && anchor="${target#*#}"
+
+        if [[ -z "$path" ]]; then
+            dest="$file" # same-file anchor
+        else
+            dest="$dir/$path"
+            # Links that climb out of the repo point at the hosting
+            # site (badge/workflow URLs), not the working tree.
+            if [[ "$(realpath -m "$dest")" != "$PWD"/* ]]; then
+                continue
+            fi
+            if [[ ! -e "$dest" ]]; then
+                echo "check_links: $file: broken link: $target ($dest does not exist)" >&2
+                fail=1
+                continue
+            fi
+        fi
+        if [[ -n "$anchor" && -f "$dest" && "$dest" == *.md ]]; then
+            if ! anchors_of "$dest" | grep -qxF "$anchor"; then
+                echo "check_links: $file: broken anchor: $target (no heading for #$anchor in $dest)" >&2
+                fail=1
+            fi
+        fi
+    done < <(awk '/^```/ { fence = !fence } !fence' "$file" |
+        grep -oE '\]\(([^)]+)\)' | sed -E 's/^\]\(//; s/\)$//' || true)
+done
+
+if [[ $fail -ne 0 ]]; then
+    exit 1
+fi
+echo "check_links: all links and anchors resolve (${#files[@]} files)"
