@@ -472,8 +472,8 @@ func cmdSearch(argv []string, stdout, stderr io.Writer) error {
 // keeping its stored packing width for the prefilter.
 func loadSearchIndex(db, dataDir string, tiered bool, segRows, budget int) (*core.Index, error) {
 	switch {
-	case dataDir != "" && core.IsTieredDir(dataDir):
-		ix, err := core.LoadDir(dataDir)
+	case dataDir != "" && hasManifest(dataDir):
+		ix, err := core.Open(dataDir)
 		if err != nil {
 			return nil, err
 		}
@@ -487,7 +487,7 @@ func loadSearchIndex(db, dataDir string, tiered bool, segRows, budget int) (*cor
 		if db == "" {
 			return nil, fmt.Errorf("search: migrating to a tiered directory needs the source index via -d")
 		}
-		ix, err := core.LoadIndexFile(db)
+		ix, err := core.Open(db)
 		if err != nil {
 			return nil, err
 		}
@@ -501,8 +501,16 @@ func loadSearchIndex(db, dataDir string, tiered bool, segRows, budget int) (*cor
 		ix.SetBudget(budget)
 		return ix, nil
 	default:
-		return core.LoadIndexFile(db)
+		return core.Open(db)
 	}
+}
+
+// hasManifest reports whether dir holds a committed tiered index. The
+// manifest rename is the commit point, so its presence is the test;
+// core.Open handles everything after that.
+func hasManifest(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, core.ManifestFile))
+	return err == nil
 }
 
 func loadOrCreateIndex(path, name string, k, size int, scheme core.Scheme, bands, rows, shards, bits int, t tierOpts) (*core.Index, error) {
@@ -510,8 +518,8 @@ func loadOrCreateIndex(path, name string, k, size int, scheme core.Scheme, bands
 		return nil, fmt.Errorf("index: -tiered requires -data-dir")
 	}
 	// An existing tiered directory wins over everything: it IS the index.
-	if t.dataDir != "" && core.IsTieredDir(t.dataDir) {
-		ix, err := core.LoadDir(t.dataDir)
+	if t.dataDir != "" && hasManifest(t.dataDir) {
+		ix, err := core.Open(t.dataDir)
 		if err != nil {
 			return nil, err
 		}

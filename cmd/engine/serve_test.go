@@ -146,7 +146,7 @@ func TestCLIServe(t *testing.T) {
 		t.Fatal("serve did not shut down")
 	}
 
-	ix, err := core.LoadIndexFile(index)
+	ix, err := core.Open(index)
 	if err != nil {
 		t.Fatalf("shutdown snapshot is not loadable: %v", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 // benchData returns n bytes of deterministic pseudo-random payload.
@@ -221,5 +222,42 @@ func BenchmarkPairwiseDistances(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDurableIngest measures the acked-add path on a WAL-attached
+// tiered index: sketch, shard insert, WAL append, and the group-commit
+// fsync that makes the ack durable. It reports ingest_ack_ns (wall
+// time per acknowledged add) and wal_fsync_ns (mean fsync batch
+// latency) so BENCH_*.json tracks the durability tax separately from
+// pure in-memory ingest.
+func BenchmarkDurableIngest(b *testing.B) {
+	dir := b.TempDir()
+	eng, err := NewEngine(Options{
+		IndexName: "bench-wal", Bits: 8,
+		Tiered: true, DataDir: dir, SegmentRows: 256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Index().Close()
+	// The first SaveDir commits the manifest and attaches the WALs;
+	// without it, adds would be RAM-only and measure nothing durable.
+	if err := eng.Index().SaveDir(); err != nil {
+		b.Fatal(err)
+	}
+	data := benchData(2<<10, 42)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Add(Record{Name: fmt.Sprintf("rec-%d", i), Data: data}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N), "ingest_ack_ns")
+	if ws := eng.Index().WAL(); ws != nil && ws.Fsyncs > 0 {
+		b.ReportMetric(float64(ws.FsyncNanos)/float64(ws.Fsyncs), "wal_fsync_ns")
 	}
 }

@@ -8,7 +8,7 @@ import (
 
 // Version identifies the engine build. It is reported by the CLI and
 // stamped into saved index metadata.
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 // Options configures an Engine. Zero values fall back to the package
 // defaults (DefaultK, DefaultSignatureSize, DefaultScheme sketching,
@@ -154,9 +154,28 @@ func (e *Engine) SetMode(m SearchMode) { e.mode = m }
 
 // Add sketches rec and adds it to the index. It reports whether the
 // record was added (false means a record with the same name already
-// existed and was skipped).
+// existed and was skipped). On a WAL-attached tiered index a true
+// return is durable: the logged frame has been fsynced before Add
+// returns. A sync failure returns the error with added=true — the
+// record is in memory but not yet on disk (the next snapshot covers
+// it).
 func (e *Engine) Add(rec Record) (bool, error) {
-	return e.index.Add(e.sketcher.Sketch(rec))
+	added, err := e.index.Add(e.sketcher.Sketch(rec))
+	if err != nil || !added {
+		return added, err
+	}
+	return true, e.index.SyncWAL()
+}
+
+// Delete removes the record named name from the index, reporting
+// whether it was present. Like Add, a true return on a WAL-attached
+// tiered index is durable before Delete returns.
+func (e *Engine) Delete(name string) (bool, error) {
+	deleted, err := e.index.Delete(name)
+	if err != nil || !deleted {
+		return deleted, err
+	}
+	return true, e.index.SyncWAL()
 }
 
 // AddBatch sketches and inserts recs through the worker pool: sketching
@@ -214,7 +233,10 @@ func (e *Engine) AddBatchResults(recs []Record) ([]bool, error) {
 		}
 		added[i] = oks[j]
 	}
-	return added, nil
+	// One durability barrier for the whole batch: every inserted
+	// record's WAL frame is fsynced before the batch is acknowledged —
+	// the group commit that makes batched ingest cheap.
+	return added, e.index.SyncWAL()
 }
 
 // Stats is a point-in-time snapshot of engine and index state, exposed
@@ -240,9 +262,18 @@ type Stats struct {
 	Generation     uint64     `json:"generation"`
 	CreatedAt      time.Time  `json:"created_at"`
 	UpdatedAt      time.Time  `json:"updated_at"`
-	// Tier is present only on tiered indexes, so non-tiered /stats
-	// output is byte-identical to previous releases.
+	// DeadRows counts tombstoned (deleted, not yet compacted) arena
+	// rows; TombstoneRatio is DeadRows over total arena rows.
+	// Compactions and CompactedRows count compaction passes and the
+	// rows they reclaimed.
+	DeadRows       int     `json:"dead_rows,omitempty"`
+	TombstoneRatio float64 `json:"tombstone_ratio,omitempty"`
+	Compactions    uint64  `json:"compactions,omitempty"`
+	CompactedRows  uint64  `json:"compacted_rows,omitempty"`
+	// Tier and WAL are present only on tiered indexes, so non-tiered
+	// /stats output is byte-identical to previous releases.
 	Tier *TierStats `json:"tier,omitempty"`
+	WAL  *WALStats  `json:"wal,omitempty"`
 }
 
 // Stats returns a consistent-enough snapshot of the engine for
@@ -253,6 +284,11 @@ func (e *Engine) Stats() Stats {
 	meta := e.index.Metadata()
 	lsh := e.index.LSHParams()
 	arena := e.index.Arena()
+	dead, rows := e.index.Tombstones()
+	var tombRatio float64
+	if rows > 0 {
+		tombRatio = float64(dead) / float64(rows)
+	}
 	return Stats{
 		IndexName:      meta.Name,
 		Records:        meta.RecordCount,
@@ -272,7 +308,12 @@ func (e *Engine) Stats() Stats {
 		Generation:     e.index.Generation(),
 		CreatedAt:      meta.CreatedAt,
 		UpdatedAt:      meta.UpdatedAt,
+		DeadRows:       dead,
+		TombstoneRatio: tombRatio,
+		Compactions:    e.index.compactions.Load(),
+		CompactedRows:  e.index.compactedRows.Load(),
 		Tier:           e.index.Tier(),
+		WAL:            e.index.WAL(),
 	}
 }
 

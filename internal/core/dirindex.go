@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -27,11 +28,15 @@ type manifestSegment struct {
 // manifestShard is one stripe's row-indexed state: segment references
 // in base order (tiling rows [0, sum rows)), plus the names and shingle
 // counts for every row. Signatures are NOT here — the packed prefilter
-// is rebuilt by streaming the segments once at load.
+// is rebuilt by streaming the segments once at load. Deleted (format
+// v6) lists the tombstoned row indexes; those rows still occupy arena
+// and segment space until a compaction drops them, but are invisible
+// to every lookup.
 type manifestShard struct {
 	Segments []manifestSegment `json:"segments"`
 	Names    []string          `json:"names"`
 	Shingles []int32           `json:"shingles"`
+	Deleted  []int32           `json:"deleted,omitempty"`
 }
 
 // manifestTier carries the tier configuration a reopened index resumes
@@ -51,9 +56,12 @@ type manifest struct {
 }
 
 // IsTieredDir reports whether path looks like a tiered index directory:
-// a directory containing a manifest. It is the cheap sniff CLI loaders
-// use to pick LoadDir over LoadIndexFile.
-func IsTieredDir(path string) bool {
+// a directory containing a manifest.
+//
+// Deprecated: use Open, which performs this detection itself.
+func IsTieredDir(path string) bool { return isTieredDir(path) }
+
+func isTieredDir(path string) bool {
 	fi, err := os.Stat(path)
 	if err != nil || !fi.IsDir() {
 		return false
@@ -69,11 +77,16 @@ func IsTieredDir(path string) bool {
 // move to the on-disk tier, sealed into immutable segment files of
 // segmentRows rows (0 means DefaultSegmentRows) as they accumulate.
 // Existing records are migrated immediately, so enabling on a loaded v4
-// index is the upgrade path to format v5 — but only full-width (64-bit)
+// index is the upgrade path to format v6 — but only full-width (64-bit)
 // indexes can migrate: a populated 8- or 16-bit index discarded its
-// full-width slots at add time and is rejected. Like Rebucket, it must
-// not run concurrently with Add or queries.
+// full-width slots at add time and is rejected. Adds and deletes are
+// blocked for the duration; queries must not overlap (the arena is
+// swapped wholesale). The write-ahead log is attached by the first
+// SaveDir: durability frames only make sense once there is a committed
+// manifest to replay them over.
 func (ix *Index) EnableTiered(dataDir string, segmentRows, bits int) error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.tier != nil {
@@ -106,9 +119,13 @@ func (ix *Index) EnableTiered(dataDir string, segmentRows, bits int) error {
 	}
 	sig := make([]uint64, 0, ix.meta.SignatureSize)
 	for si, old := range ix.shards {
-		// Same shard count, so every record stays on stripe si; walking
-		// the arena in row order preserves shard-local row indexes.
+		// Same shard count, so every live record stays on stripe si;
+		// walking the arena in row order preserves the relative order.
+		// Tombstoned rows are dropped — the migration is a compaction.
 		for i, name := range old.names {
+			if old.rowDead(int32(i)) {
+				continue
+			}
 			sig = old.arena.appendUnpacked(sig[:0], i)
 			if _, err := fresh[si].add(&Sketch{
 				Name:      name,
@@ -128,26 +145,35 @@ func (ix *Index) EnableTiered(dataDir string, segmentRows, bits int) error {
 	ix.shards = fresh
 	ix.bits = bits
 	ix.meta.Bits = bits
-	ix.meta.Format = FormatV5
+	ix.meta.Format = FormatV6
 	ix.tier = tier
 	return nil
 }
 
-// SaveDir persists a tiered index into its data directory: every
-// shard's mutable head is sealed into a new immutable segment, then the
-// manifest is atomically replaced. Because sealed segments never
-// change, a snapshot's cost is the unsealed rows plus the (small)
-// manifest — not the whole index. Segment files a crash or a dropped
-// head left unreferenced are cleaned up after the manifest commits.
+// SaveDir persists a tiered index into its data directory: stripes
+// whose tombstone ratio reached DefaultCompactThreshold are compacted,
+// every shard's mutable head is sealed into a new immutable segment,
+// then the manifest is atomically replaced — the commit point. Because
+// sealed segments never change, a snapshot's cost is the unsealed rows
+// plus the (small) manifest — not the whole index. After the commit the
+// per-shard write-ahead logs restart empty (attaching them on the first
+// SaveDir): every mutation they logged is now in the manifest, and the
+// lock order guarantees none landed in between. Segment files a crash,
+// a compaction, or a dropped head left unreferenced are cleaned up
+// after the commit.
 func (ix *Index) SaveDir() (err error) {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.tier == nil {
 		return fmt.Errorf("index %q: not a tiered index; call EnableTiered first or use SaveFile", ix.meta.Name)
 	}
-	// Hold every shard lock across seal + manifest + cleanup so no
-	// concurrent add can seal a segment between the manifest snapshot
-	// and the orphan sweep (which would delete it as unreferenced).
+	// Hold every shard lock across compact + seal + manifest + WAL
+	// truncation + cleanup so no concurrent mutation can slip between
+	// the snapshot and the log reset (which would lose it), and no
+	// concurrent seal can produce a segment the orphan sweep would
+	// delete as unreferenced.
 	for _, sh := range ix.shards {
 		sh.mu.Lock()
 	}
@@ -162,10 +188,20 @@ func (ix *Index) SaveDir() (err error) {
 		Tier:  manifestTier{SegmentRows: ix.tier.segmentRows},
 		Order: slices.Clone(ix.order),
 	}
-	man.Meta.Format = FormatV5
+	man.Meta.Format = FormatV6
 	man.Meta.Bits = ix.bits
 	man.Meta.RecordCount = len(ix.order)
 	for _, sh := range ix.shards {
+		if n := len(sh.names); n > 0 && float64(sh.deadRows)/float64(n) >= DefaultCompactThreshold {
+			dropped, cerr := sh.compactLocked(ix.lsh, ix.meta.SignatureSize, ix.bits)
+			if cerr != nil {
+				return fmt.Errorf("index %q: save dir: compact: %w", ix.meta.Name, cerr)
+			}
+			if dropped > 0 {
+				ix.compactions.Add(1)
+				ix.compactedRows.Add(uint64(dropped))
+			}
+		}
 		if err := sh.full.sealHead(); err != nil {
 			return fmt.Errorf("index %q: save dir: %w", ix.meta.Name, err)
 		}
@@ -173,6 +209,7 @@ func (ix *Index) SaveDir() (err error) {
 			Segments: make([]manifestSegment, 0, len(sh.full.segs)),
 			Names:    slices.Clone(sh.names),
 			Shingles: slices.Clone(sh.shingles),
+			Deleted:  sh.deadRowsLocked(),
 		}
 		for _, sg := range sh.full.segs {
 			ms.Segments = append(ms.Segments, manifestSegment{
@@ -185,7 +222,53 @@ func (ix *Index) SaveDir() (err error) {
 	if err := writeManifest(filepath.Join(ix.tier.dataDir, ManifestFile), &man); err != nil {
 		return fmt.Errorf("index %q: save dir: %w", ix.meta.Name, err)
 	}
+	// The manifest now contains every logged mutation; truncate the
+	// logs (attaching them if this was the directory's first commit). A
+	// crash before a truncation is harmless: replay over a snapshot
+	// that already contains the frames' effects converges (adds of
+	// present names skip, deletes of absent names no-op).
+	if err := ix.attachWALsLocked(); err != nil {
+		return fmt.Errorf("index %q: save dir: %w", ix.meta.Name, err)
+	}
 	cleanOrphanSegments(ix.tier.segmentsDir(), &man)
+	return nil
+}
+
+// deadRowsLocked lists the stripe's tombstoned row indexes in row
+// order. Callers hold sh.mu.
+func (sh *shard) deadRowsLocked() []int32 {
+	if sh.deadRows == 0 {
+		return nil
+	}
+	out := make([]int32, 0, sh.deadRows)
+	for i := range sh.names {
+		if sh.rowDead(int32(i)) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// attachWALsLocked brings every shard's write-ahead log to the
+// empty-at-current-snapshot state: already-attached logs are truncated
+// back to a bare header, missing ones are created and attached. Callers
+// hold ix.mu and every shard lock, and must have committed the manifest
+// first — the WAL-active invariant is "a WAL exists if and only if
+// there is a manifest to replay it over".
+func (ix *Index) attachWALsLocked() error {
+	for si, sh := range ix.shards {
+		if w := sh.wal.Load(); w != nil {
+			if err := w.reset(); err != nil {
+				return err
+			}
+			continue
+		}
+		w, err := openShardWAL(walPath(ix.tier.dataDir, si), si, ix.tier, 0, 0)
+		if err != nil {
+			return err
+		}
+		sh.wal.Store(w)
+	}
 	return nil
 }
 
@@ -244,13 +327,21 @@ func cleanOrphanSegments(segDir string, man *manifest) {
 	}
 }
 
-// LoadDir opens a tiered index directory written by SaveDir: it reads
+// LoadDir opens a tiered index directory written by SaveDir.
+//
+// Deprecated: use Open, which detects the on-disk layout (JSON file or
+// tiered directory) and dispatches accordingly.
+func LoadDir(dir string) (*Index, error) { return loadDir(dir) }
+
+// loadDir opens a tiered index directory written by SaveDir: it reads
 // the manifest, opens and checksum-verifies every referenced segment,
 // and rebuilds the packed prefilter and LSH band postings by streaming
-// the segment rows once. The full-width data itself stays on disk
-// (mmap'd where available), so a loaded index's heap holds only the
-// prefilter, postings, and names.
-func LoadDir(dir string) (ix *Index, err error) {
+// the segment rows once; manifest v6 tombstones are restored, and the
+// per-shard write-ahead logs are replayed over the snapshot (torn tails
+// truncated) so every mutation acknowledged before a crash is present.
+// The full-width data itself stays on disk (mmap'd where available), so
+// a loaded index's heap holds only the prefilter, postings, and names.
+func loadDir(dir string) (ix *Index, err error) {
 	f, err := os.Open(filepath.Join(dir, ManifestFile))
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
@@ -263,9 +354,9 @@ func LoadDir(dir string) (ix *Index, err error) {
 	}
 	switch {
 	case m.Meta.Format < FormatV5:
-		return nil, fmt.Errorf("index: manifest format %d is not the tiered directory format (%d)", m.Meta.Format, FormatV5)
-	case m.Meta.Format > FormatV5:
-		return nil, fmt.Errorf("index: manifest format %d is newer than this engine supports (max %d)", m.Meta.Format, FormatV5)
+		return nil, fmt.Errorf("index: manifest format %d is not the tiered directory format (%d or %d)", m.Meta.Format, FormatV5, FormatV6)
+	case m.Meta.Format > FormatV6:
+		return nil, fmt.Errorf("index: manifest format %d is newer than this engine supports (max %d)", m.Meta.Format, FormatV6)
 	}
 	if m.Meta.K <= 0 || m.Meta.SignatureSize <= 0 {
 		return nil, fmt.Errorf("index: invalid manifest metadata: k=%d signature_size=%d", m.Meta.K, m.Meta.SignatureSize)
@@ -292,7 +383,7 @@ func LoadDir(dir string) (ix *Index, err error) {
 	}
 
 	meta := m.Meta
-	meta.Format = FormatV5
+	meta.Format = FormatV6
 	meta.Scheme = scheme
 	meta.Bits = bits
 	tier := &tierState{dataDir: dir, segmentRows: segRows}
@@ -343,6 +434,23 @@ func LoadDir(dir string) (ix *Index, err error) {
 		}
 		sh.names = ms.Names
 		sh.shingles = ms.Shingles
+		// Tombstones first: a dead row keeps its arena slot (row indexes
+		// must match the segment layout) but never enters the id map or
+		// the band postings.
+		for _, di := range ms.Deleted {
+			if di < 0 || int(di) >= rows {
+				return nil, fmt.Errorf("index: manifest shard %d: deleted row %d out of range [0,%d)", si, di, rows)
+			}
+			if sh.rowDead(di) {
+				return nil, fmt.Errorf("index: manifest shard %d: row %d deleted twice", si, di)
+			}
+			w := int(di) >> 6
+			for len(sh.dead) <= w {
+				sh.dead = append(sh.dead, 0)
+			}
+			sh.dead[w] |= 1 << uint(di&63)
+			sh.deadRows++
+		}
 		for i, name := range ms.Names {
 			if name == "" {
 				return nil, fmt.Errorf("index: manifest shard %d row %d has an empty name", si, i)
@@ -350,17 +458,25 @@ func LoadDir(dir string) (ix *Index, err error) {
 			if shardFor(name, shards) != si {
 				return nil, fmt.Errorf("index: manifest shard %d row %d: record %q belongs on shard %d", si, i, name, shardFor(name, shards))
 			}
+			if sh.rowDead(int32(i)) {
+				// A dead row may legally share its name with a live one
+				// (delete + re-add), so it skips the duplicate check too.
+				continue
+			}
 			if _, dup := sh.ids[name]; dup {
 				return nil, fmt.Errorf("index: duplicate record name %q", name)
 			}
 			sh.ids[name] = int32(i)
 		}
 		// One streaming pass over the full-width rows rebuilds the
-		// derived in-RAM state: packed prefilter rows and band postings.
+		// derived in-RAM state: packed prefilter rows and band postings
+		// (dead rows fill their arena slot but get no postings).
 		for _, sg := range sh.full.segs {
 			serr := sg.forEachRow(func(local int, sig []uint64) error {
 				idx := int32(sh.arena.appendSig(sig))
-				sh.bands.add(idx, sig, sh.mask)
+				if !sh.rowDead(idx) {
+					sh.bands.add(idx, sig, sh.mask)
+				}
 				return nil
 			})
 			if serr != nil {
@@ -370,10 +486,10 @@ func LoadDir(dir string) (ix *Index, err error) {
 	}
 	total := 0
 	for _, sh := range ix.shards {
-		total += len(sh.names)
+		total += len(sh.ids)
 	}
 	if len(m.Order) != total {
-		return nil, fmt.Errorf("index: manifest order lists %d records but shards hold %d", len(m.Order), total)
+		return nil, fmt.Errorf("index: manifest order lists %d records but shards hold %d live", len(m.Order), total)
 	}
 	for _, name := range m.Order {
 		if !ix.shards[shardFor(name, shards)].has(name) {
@@ -382,7 +498,82 @@ func LoadDir(dir string) (ix *Index, err error) {
 	}
 	ix.order = m.Order
 	ix.meta.RecordCount = total
+	// Replay whatever the write-ahead logs hold past this snapshot —
+	// everything acknowledged since the manifest was committed — then
+	// attach the logs for new mutations. A snapshot that already
+	// contains some frames' effects (crash between manifest commit and
+	// log truncation) replays idempotently.
+	if err = ix.replayWAL(); err != nil {
+		return nil, err
+	}
 	return ix, nil
+}
+
+// replayWAL scans every shard's write-ahead log, applies the decodable
+// frames in global sequence order through the normal Add/Delete paths,
+// and attaches each log at the end of its valid prefix (truncating torn
+// tails). The logs are not attached until after the replay, so replayed
+// mutations are not re-logged. Called by loadDir on the fully-built
+// index, before it is visible to anyone else.
+func (ix *Index) replayWAL() error {
+	type walScan struct {
+		validEnd int64
+		frames   int64
+	}
+	scans := make([]walScan, len(ix.shards))
+	var all []walOp
+	var torn uint64
+	for si := range ix.shards {
+		path := walPath(ix.tier.dataDir, si)
+		ops, validEnd, err := scanShardWAL(path, si)
+		if err != nil {
+			return fmt.Errorf("index: %w", err)
+		}
+		if fi, serr := os.Stat(path); serr == nil && fi.Size() > validEnd {
+			torn += uint64(fi.Size() - validEnd)
+		}
+		scans[si] = walScan{validEnd: validEnd, frames: int64(len(ops))}
+		all = append(all, ops...)
+	}
+	slices.SortFunc(all, func(a, b walOp) int { return cmp.Compare(a.seq, b.seq) })
+	slots := ix.meta.SignatureSize
+	var maxSeq uint64
+	for _, op := range all {
+		maxSeq = max(maxSeq, op.seq)
+		switch op.op {
+		case walOpAdd:
+			if len(op.sig) != slots {
+				return fmt.Errorf("index: wal: add frame for %q carries %d slots, index wants %d", op.name, len(op.sig), slots)
+			}
+			if _, err := ix.Add(&Sketch{
+				Name:      op.name,
+				K:         ix.meta.K,
+				Shingles:  int(op.shingles),
+				Scheme:    ix.meta.Scheme,
+				Bits:      DefaultBits,
+				Signature: op.sig,
+			}); err != nil {
+				return fmt.Errorf("index: wal replay: %w", err)
+			}
+		case walOpDelete:
+			if _, err := ix.Delete(op.name); err != nil {
+				return fmt.Errorf("index: wal replay: %w", err)
+			}
+		}
+	}
+	if ix.tier.walSeq.Load() < maxSeq {
+		ix.tier.walSeq.Store(maxSeq)
+	}
+	ix.tier.walReplayed.Store(uint64(len(all)))
+	ix.tier.walTornBytes.Store(torn)
+	for si, sh := range ix.shards {
+		w, err := openShardWAL(walPath(ix.tier.dataDir, si), si, ix.tier, scans[si].validEnd, scans[si].frames)
+		if err != nil {
+			return fmt.Errorf("index: %w", err)
+		}
+		sh.wal.Store(w)
+	}
+	return nil
 }
 
 // Tiered reports whether the index has an on-disk full-width tier.
@@ -460,8 +651,11 @@ func (ix *Index) Tier() *TierStats {
 	return st
 }
 
-// Close releases the on-disk tier's mappings and file handles. It is a
-// no-op on non-tiered indexes; the index must not be used afterwards.
+// Close releases the on-disk tier's mappings and file handles,
+// including the write-ahead logs (buffered-but-unsynced frames are
+// dropped — callers that need them durable call SyncWAL first, and the
+// ack path already has). It is a no-op on non-tiered indexes; the index
+// must not be used afterwards.
 func (ix *Index) Close() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -472,6 +666,12 @@ func (ix *Index) Close() error {
 			if err := sh.full.close(); err != nil && first == nil {
 				first = err
 			}
+		}
+		if w := sh.wal.Load(); w != nil {
+			if err := w.close(); err != nil && first == nil {
+				first = err
+			}
+			sh.wal.Store(nil)
 		}
 		sh.mu.Unlock()
 	}

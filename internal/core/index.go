@@ -9,6 +9,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,17 +18,19 @@ import (
 // docs/FORMAT.md; the short version: v1 files carry no format field and
 // load with defaults, v1–v2 predate sketch schemes and load as legacy
 // KMH, v1–v3 predate packing and load as full-width 64-bit arenas, v4
-// records the packing width. V5 is not a JSON layout at all but the
-// tiered directory format (MANIFEST.json plus binary segment files)
-// written by SaveDir and read by LoadDir. Save always writes
-// CurrentFormat, which stays v4: the JSON path's bytes are unchanged by
-// the existence of the tiered format.
+// records the packing width. V5 and v6 are not JSON layouts at all but
+// the tiered directory format (MANIFEST.json plus binary segment
+// files) written by SaveDir and read by Open: v6 extends v5 with
+// per-shard tombstone lists and a write-ahead log replayed on open.
+// Save always writes CurrentFormat, which stays v4: the JSON path's
+// bytes are unchanged by the existence of the tiered formats.
 const (
 	FormatV1      = 1
 	FormatV2      = 2
 	FormatV3      = 3
 	FormatV4      = 4
 	FormatV5      = 5
+	FormatV6      = 6
 	CurrentFormat = FormatV4
 )
 
@@ -61,14 +64,23 @@ type Metadata struct {
 // use except Rebucket. Adds are incremental: a sketch whose name is
 // already present is skipped, never overwritten.
 type Index struct {
+	// writeMu serializes structural rebuilds (Rebucket, EnableTiered,
+	// SaveDir) against mutations (Add, Delete): mutators hold it shared,
+	// rebuilds exclusively. Queries never touch it. Lock order is
+	// writeMu -> ix.mu -> shard.mu -> shardWAL.mu.
+	writeMu sync.RWMutex
+
 	mu     sync.RWMutex // guards meta, order, gen, and the shards slice header
 	meta   Metadata
 	order  []string // insertion order, for deterministic iteration
 	shards []*shard
 	lsh    LSHParams
 	bits   int
-	gen    uint64     // bumped on every successful Add; see Generation
-	tier   *tierState // non-nil once EnableTiered has run (or LoadDir built the index)
+	gen    uint64     // bumped on every successful Add or Delete; see Generation
+	tier   *tierState // non-nil once EnableTiered has run (or Open built the index)
+
+	compactions   atomic.Uint64 // compaction passes that dropped rows
+	compactedRows atomic.Uint64 // tombstoned rows reclaimed by compaction
 }
 
 // NewIndex returns an empty index accepting sketches with the given
@@ -174,6 +186,11 @@ func (ix *Index) Add(s *Sketch) (bool, error) {
 		return false, fmt.Errorf("index %q: sketch holds %d-bit truncated slots but the index packs at %d bits",
 			ix.meta.Name, b, ix.bits)
 	}
+	// Shared writeMu spans the shard insert and the order append, so a
+	// structural rebuild (Rebucket, SaveDir) can never observe a record
+	// that is in a shard but not yet in order.
+	ix.writeMu.RLock()
+	defer ix.writeMu.RUnlock()
 	ix.mu.RLock()
 	shards := ix.shards
 	tiered := ix.tier != nil
@@ -202,8 +219,151 @@ func (ix *Index) Add(s *Sketch) (bool, error) {
 	return true, nil
 }
 
-// Generation returns a counter that increments on every successful Add.
-// It is the snapshot hook for long-lived servers: remember the
+// Delete tombstones the record named name and reports whether it was
+// present. The record disappears from every lookup and search
+// immediately; its arena row is reclaimed by the next compaction (see
+// Compact and SaveDir). On a WAL-attached tiered index the tombstone is
+// logged, so an acknowledged delete survives a crash the same way an
+// acknowledged add does — call SyncWAL (or Engine.Delete, which does)
+// before acking. Deleting frees the name: a later Add with the same
+// name succeeds and is a fresh record.
+func (ix *Index) Delete(name string) (bool, error) {
+	if name == "" {
+		return false, fmt.Errorf("index: delete with empty name")
+	}
+	ix.writeMu.RLock()
+	defer ix.writeMu.RUnlock()
+	ix.mu.RLock()
+	shards := ix.shards
+	ix.mu.RUnlock()
+	if !shards[shardFor(name, len(shards))].delete(name) {
+		return false, nil
+	}
+	ix.mu.Lock()
+	// Insertion order is kept dense for deterministic iteration;
+	// deletes pay the O(n) removal, which is fine at the delete rates a
+	// tombstone design targets.
+	if i := slices.Index(ix.order, name); i >= 0 {
+		ix.order = slices.Delete(ix.order, i, i+1)
+	}
+	ix.meta.RecordCount = len(ix.order)
+	ix.meta.UpdatedAt = time.Now().UTC()
+	ix.gen++
+	ix.mu.Unlock()
+	return true, nil
+}
+
+// SyncWAL flushes and fsyncs every shard's write-ahead log — the
+// durability barrier an ack must wait on. Shards with nothing buffered
+// skip their fsync, so the cost tracks the shards actually touched. It
+// is a no-op (nil error) when no WAL is attached: either a non-tiered
+// index, or a tiered directory that has not committed its first
+// manifest yet.
+func (ix *Index) SyncWAL() error {
+	shards := ix.snapshotShards()
+	var first error
+	for _, sh := range shards {
+		if w := sh.wal.Load(); w != nil {
+			if err := w.sync(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Tombstones returns the number of tombstoned (deleted but not yet
+// compacted) arena rows and the total arena row count.
+func (ix *Index) Tombstones() (dead, rows int) {
+	for _, sh := range ix.snapshotShards() {
+		d, r := sh.deadCount()
+		dead += d
+		rows += r
+	}
+	return dead, rows
+}
+
+// DefaultCompactThreshold is the tombstone ratio (dead rows over total
+// rows, per shard) at which SaveDir compacts a stripe before
+// snapshotting it.
+const DefaultCompactThreshold = 0.25
+
+// Compact rewrites every stripe that holds tombstoned rows, reclaiming
+// their arena (and, on tiered indexes, segment) space. Search results
+// are unchanged — deleted rows were already invisible — and it is safe
+// to run on a live index: each stripe is rebuilt under its own lock,
+// and in-flight queries that captured candidates against the old row
+// numbering detect the generation change and rescan.
+func (ix *Index) Compact() error {
+	ix.mu.RLock()
+	shards := ix.shards
+	lsh := ix.lsh
+	slots := ix.meta.SignatureSize
+	bits := ix.bits
+	name := ix.meta.Name
+	ix.mu.RUnlock()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		dropped, err := sh.compactLocked(lsh, slots, bits)
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("index %q: compact: %w", name, err)
+		}
+		if dropped > 0 {
+			ix.compactions.Add(1)
+			ix.compactedRows.Add(uint64(dropped))
+		}
+	}
+	return nil
+}
+
+// WALStats is the observable write-ahead-log state, surfaced through
+// Stats and /stats. Frames and Bytes are the log depth since the last
+// snapshot truncated it; FsyncNanos over Fsyncs is the mean fsync
+// latency the ack path is paying.
+type WALStats struct {
+	Frames         int64  `json:"frames"`
+	Bytes          int64  `json:"bytes"`
+	Appends        uint64 `json:"appends"`
+	Fsyncs         uint64 `json:"fsyncs"`
+	FsyncNanos     uint64 `json:"fsync_nanos"`
+	ReplayedFrames uint64 `json:"replayed_frames"`
+	TornBytes      uint64 `json:"torn_bytes"`
+}
+
+// WAL returns a snapshot of write-ahead-log state, or nil when no WAL
+// is attached (non-tiered index, or no committed manifest yet).
+func (ix *Index) WAL() *WALStats {
+	ix.mu.RLock()
+	tier := ix.tier
+	ix.mu.RUnlock()
+	if tier == nil {
+		return nil
+	}
+	st := &WALStats{
+		Appends:        tier.walAppends.Load(),
+		Fsyncs:         tier.walFsyncs.Load(),
+		FsyncNanos:     tier.walFsyncNanos.Load(),
+		ReplayedFrames: tier.walReplayed.Load(),
+		TornBytes:      tier.walTornBytes.Load(),
+	}
+	attached := false
+	for _, sh := range ix.snapshotShards() {
+		if w := sh.wal.Load(); w != nil {
+			attached = true
+			frames, bytes := w.depth()
+			st.Frames += frames
+			st.Bytes += bytes
+		}
+	}
+	if !attached {
+		return nil
+	}
+	return st
+}
+
+// Generation returns a counter that increments on every successful Add
+// or Delete. It is the snapshot hook for long-lived servers: remember the
 // generation at the last save and skip the next one when it has not
 // moved, so idle periods never rewrite an unchanged index file.
 func (ix *Index) Generation() uint64 {
@@ -327,68 +487,106 @@ func (ix *Index) ShardCount() int {
 }
 
 // snapshotShards returns the current shard slice for query fan-out.
-// Shards are append-only (Rebucket excepted, which must not run
-// concurrently with queries on a live index), so holding the snapshot
-// without ix.mu is safe.
+// Shards are append-only, and the structural rebuilds (a Rebucket that
+// changes the shard count) swap in a fresh slice while leaving the old
+// shards untouched, so holding the snapshot without ix.mu is safe:
+// queries against the old snapshot stay internally consistent.
 func (ix *Index) snapshotShards() []*shard {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.shards
 }
 
-// Rebucket rebuilds the shard stripes and LSH band postings in place
-// with a new banding scheme and shard count, without re-sketching; the
-// packing width is preserved (repacking truncated lanes is lossless).
-// It must not run concurrently with Add; it exists so a loaded index
-// can be retuned (e.g. `search -bands ... -shards ...`) before serving.
+// Rebucket retunes the LSH banding scheme (and, on non-tiered indexes,
+// the shard count) without re-sketching; the packing width is preserved
+// (repacking truncated lanes is lossless). It is safe on a live index:
+// writers (Add, Delete) are briefly blocked on writeMu, but queries
+// keep running throughout. With an unchanged shard count the band
+// postings are rebuilt stripe by stripe under each stripe's own lock,
+// so row numbering, full-width stores, and WALs all carry over; a
+// changed shard count builds a fresh shard set and swaps it in, leaving
+// in-flight queries a consistent view of the old one. Queries that
+// overlap the swap may transiently probe with stale band keys — they
+// lose candidates, never gain wrong results, because every candidate is
+// still exact-scored.
 //
 // On a tiered index the shard count must stay what it is: on-disk
 // segments are laid out by shard-local row order, and changing the
 // stripe count would reshuffle records across shards and orphan every
-// segment. A band retune keeps the per-shard row order (records are
-// re-added shard by shard in arena order), so each shard's full-width
-// store carries over untouched.
+// segment.
 func (ix *Index) Rebucket(lsh LSHParams, shards int) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, err := NewLSHParams(lsh.Bands, lsh.RowsPerBand, ix.meta.SignatureSize); err != nil {
-		return fmt.Errorf("index %q: rebucket: %w", ix.meta.Name, err)
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	ix.mu.RLock()
+	cur := ix.shards
+	sigSize := ix.meta.SignatureSize
+	bits := ix.bits
+	k := ix.meta.K
+	scheme := ix.meta.Scheme
+	name := ix.meta.Name
+	tiered := ix.tier != nil
+	ix.mu.RUnlock()
+	if _, err := NewLSHParams(lsh.Bands, lsh.RowsPerBand, sigSize); err != nil {
+		return fmt.Errorf("index %q: rebucket: %w", name, err)
 	}
 	if shards <= 0 {
-		return fmt.Errorf("index %q: rebucket: shard count must be positive, got %d", ix.meta.Name, shards)
+		return fmt.Errorf("index %q: rebucket: shard count must be positive, got %d", name, shards)
 	}
-	if ix.tier != nil && shards != len(ix.shards) {
+	if tiered && shards != len(cur) {
 		return fmt.Errorf("index %q: rebucket: cannot change the shard count of a tiered index (%d -> %d): on-disk segments are per-shard",
-			ix.meta.Name, len(ix.shards), shards)
+			name, len(cur), shards)
 	}
-	fresh := newShards(shards, lsh, ix.meta.SignatureSize, ix.bits)
-	sig := make([]uint64, 0, ix.meta.SignatureSize)
-	for _, old := range ix.shards {
-		for i, name := range old.names {
-			sig = old.arena.appendUnpacked(sig[:0], i)
-			// fresh shards have no full store attached, so add cannot fail.
-			_, _ = fresh[shardFor(name, shards)].add(&Sketch{
-				Name:      name,
-				K:         ix.meta.K,
-				Shingles:  int(old.shingles[i]),
-				Scheme:    ix.meta.Scheme,
-				Bits:      ix.bits,
-				Signature: sig,
-			})
+	if shards == len(cur) {
+		// Same stripe count: rebuild each stripe's postings in place.
+		// Tombstoned rows drop out of the new postings for free.
+		sig := make([]uint64, 0, sigSize)
+		for _, sh := range cur {
+			sh.mu.Lock()
+			nb := newBandIndex(lsh)
+			for i := range sh.names {
+				if sh.rowDead(int32(i)) {
+					continue
+				}
+				sig = sh.arena.appendUnpacked(sig[:0], i)
+				nb.add(int32(i), sig, sh.mask)
+			}
+			sh.bands = nb
+			sh.mu.Unlock()
 		}
-	}
-	if ix.tier != nil {
-		// Same shard count and same per-shard insertion order: row
-		// indexes are unchanged, so the full-width stores move over 1:1.
-		for i, old := range ix.shards {
-			fresh[i].full = old.full
+	} else {
+		// Changed stripe count (non-tiered only): build fresh shards from
+		// a read-locked walk of the old ones, then swap the slice header.
+		fresh := newShards(shards, lsh, sigSize, bits)
+		sig := make([]uint64, 0, sigSize)
+		for _, old := range cur {
+			old.mu.RLock()
+			for i, nm := range old.names {
+				if old.rowDead(int32(i)) {
+					continue
+				}
+				sig = old.arena.appendUnpacked(sig[:0], i)
+				// fresh shards have no full store attached, so add cannot fail.
+				_, _ = fresh[shardFor(nm, shards)].add(&Sketch{
+					Name:      nm,
+					K:         k,
+					Shingles:  int(old.shingles[i]),
+					Scheme:    scheme,
+					Bits:      bits,
+					Signature: sig,
+				})
+			}
+			old.mu.RUnlock()
 		}
+		ix.mu.Lock()
+		ix.shards = fresh
+		ix.mu.Unlock()
 	}
-	ix.shards = fresh
+	ix.mu.Lock()
 	ix.lsh = lsh
 	ix.meta.Bands = lsh.Bands
 	ix.meta.RowsPerBand = lsh.RowsPerBand
 	ix.meta.Shards = shards
+	ix.mu.Unlock()
 	return nil
 }
 
@@ -512,11 +710,11 @@ func LoadIndex(r io.Reader) (*Index, error) {
 				return nil, fmt.Errorf("index: invalid metadata: %w", err)
 			}
 		}
-	case FormatV5:
-		return nil, fmt.Errorf("index: format 5 is the tiered directory format, not a JSON file; load its directory with LoadDir")
+	case FormatV5, FormatV6:
+		return nil, fmt.Errorf("index: format %d is the tiered directory format, not a JSON file; open its directory with core.Open", f.Meta.Format)
 	default:
 		return nil, fmt.Errorf("index: format %d is newer than this engine supports (max %d)",
-			f.Meta.Format, FormatV5)
+			f.Meta.Format, FormatV6)
 	}
 	meta := f.Meta
 	meta.Format = CurrentFormat
@@ -570,8 +768,13 @@ func LoadIndex(r io.Reader) (*Index, error) {
 	return ix, nil
 }
 
-// LoadIndexFile opens and loads an index file.
-func LoadIndexFile(path string) (*Index, error) {
+// LoadIndexFile opens and loads a single-file JSON index.
+//
+// Deprecated: use Open, which detects the on-disk layout (JSON file or
+// tiered directory) and dispatches accordingly.
+func LoadIndexFile(path string) (*Index, error) { return loadIndexFile(path) }
+
+func loadIndexFile(path string) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)

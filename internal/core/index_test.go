@@ -338,7 +338,7 @@ func TestSaveFileAtomic(t *testing.T) {
 	if err := ix.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadIndexFile(path)
+	got, err := Open(path)
 	if err != nil {
 		t.Fatalf("load after SaveFile: %v", err)
 	}
@@ -370,7 +370,7 @@ func TestSaveFileAtomic(t *testing.T) {
 	if err := ix.SaveFile(filepath.Join(dir, "missing", "index.json")); err == nil {
 		t.Fatal("SaveFile into missing directory: want error")
 	}
-	if _, err := LoadIndexFile(path); err != nil {
+	if _, err := LoadIndexFile(path); err != nil { //nolint:staticcheck // deprecated wrapper must keep working
 		t.Fatalf("existing file damaged by failed save: %v", err)
 	}
 }

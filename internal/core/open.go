@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Open opens an index at path, whatever its on-disk layout: a
+// single-file JSON index (formats v1–v4, written by SaveFile) loads
+// directly; a tiered directory (formats v5–v6, written by SaveDir)
+// loads through the manifest, restores tombstones, and replays the
+// write-ahead log, so every mutation acknowledged before a crash is
+// present. It replaces the LoadIndexFile/LoadDir/IsTieredDir sniffing
+// trio: callers hand Open a path and get the right loader.
+func Open(path string) (*Index, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	if fi.IsDir() {
+		if _, err := os.Stat(filepath.Join(path, ManifestFile)); err != nil {
+			return nil, fmt.Errorf("index: %s is a directory without a %s; not an index (a tiered index materializes its manifest on the first SaveDir)", path, ManifestFile)
+		}
+		return loadDir(path)
+	}
+	return loadIndexFile(path)
+}

@@ -72,6 +72,14 @@ type shardScratch struct {
 	results []Result
 	scored  []scoredCand
 	rsc     rowScratch
+
+	// gen is the shard's structGen at probe time; a mismatch at scoring
+	// time means a compaction reassigned row indexes in between, and the
+	// captured candidates must not be trusted. fullScanned records that
+	// the scoring pass already swept every row (the stale-generation
+	// fallback), so the complement pass has nothing left to do.
+	gen         uint64
+	fullScanned bool
 }
 
 // resetFor clears the scratch for a shard currently holding n records.
@@ -84,6 +92,7 @@ func (sc *shardScratch) resetFor(n int) {
 		clear(sc.candSet)
 	}
 	sc.cands = sc.cands[:0]
+	sc.fullScanned = false
 }
 
 // searchBuf holds the scratch state of one top-K search: the packed

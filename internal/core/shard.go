@@ -3,6 +3,7 @@ package core
 import (
 	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultShards is the number of lock-striped shards an index uses
@@ -19,13 +20,28 @@ const DefaultShards = 16
 // parallel.
 type shard struct {
 	mu       sync.RWMutex
-	ids      map[string]int32 // record name -> arena row index
+	ids      map[string]int32 // record name -> arena row index; deleted rows are absent
 	names    []string         // arena row index -> record name
 	shingles []int32          // arena row index -> shingle count
 	arena    *sigArena
 	bands    *bandIndex
 	mask     uint64     // lane mask caching laneMask(arena.bits)
 	full     *fullStore // full-width tier; nil on non-tiered indexes
+
+	// Deletes are tombstones: the row stays in the arena (and segments)
+	// but its dead bit is set and every scan skips it, until a
+	// compaction rewrites the stripe without it.
+	dead     []uint64 // bitset over arena rows; 1 = tombstoned
+	deadRows int
+	// structGen bumps whenever row indexes are reassigned (compaction).
+	// Queries that captured candidate indexes under an older generation
+	// detect the mismatch and rescan instead of scoring stale rows.
+	structGen uint64
+
+	// wal is the shard's write-ahead log, attached once the tiered
+	// directory has a committed manifest (SaveDir/LoadDir) and nil
+	// otherwise. Atomic so Index.SyncWAL can read it without sh.mu.
+	wal atomic.Pointer[shardWAL]
 }
 
 func newShard(p LSHParams, slots, bits int) *shard {
@@ -66,14 +82,56 @@ func (sh *shard) add(s *Sketch) (bool, error) {
 	sh.names = append(sh.names, s.Name)
 	sh.shingles = append(sh.shingles, int32(s.Shingles))
 	sh.bands.add(idx, s.Signature, sh.mask)
+	if w := sh.wal.Load(); w != nil {
+		w.appendAdd(sh.full.tier.walSeq.Add(1), s.Name, int32(s.Shingles), s.Signature)
+	}
 	return true, nil
 }
 
-// size returns the number of records in this stripe.
+// delete tombstones the record named name: the name leaves the id map
+// (so a later add may reuse it), the row's dead bit is set, and every
+// scan path skips it from now on. The arena row itself is reclaimed by
+// the next compaction. It reports whether a record was deleted.
+func (sh *shard) delete(name string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	idx, ok := sh.ids[name]
+	if !ok {
+		return false
+	}
+	delete(sh.ids, name)
+	w := int(idx) >> 6
+	for len(sh.dead) <= w {
+		sh.dead = append(sh.dead, 0)
+	}
+	sh.dead[w] |= 1 << uint(idx&63)
+	sh.deadRows++
+	if wl := sh.wal.Load(); wl != nil {
+		wl.appendDelete(sh.full.tier.walSeq.Add(1), name)
+	}
+	return true
+}
+
+// rowDead reports whether arena row idx is tombstoned. Callers hold the
+// shard lock (either mode).
+func (sh *shard) rowDead(idx int32) bool {
+	w := int(idx) >> 6
+	return w < len(sh.dead) && sh.dead[w]&(1<<uint(idx&63)) != 0
+}
+
+// deadCount returns (tombstoned rows, total arena rows).
+func (sh *shard) deadCount() (dead, rows int) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.deadRows, len(sh.names)
+}
+
+// size returns the number of live records in this stripe (tombstoned
+// rows are excluded).
 func (sh *shard) size() int {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return len(sh.names)
+	return len(sh.ids)
 }
 
 // has reports whether a record named name is present, without
@@ -169,8 +227,15 @@ func (sh *shard) probeCandidates(q *packedQuery, sc *shardScratch) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	sc.resetFor(len(sh.names))
+	sc.gen = sh.structGen
 	bi := sh.bands
 	for band, key := range q.bandKeys {
+		if band >= len(bi.buckets) {
+			// A live Rebucket shrank the band count between this query's
+			// key precomputation and the probe; the missing bands simply
+			// contribute no candidates.
+			break
+		}
 		for _, idx := range bi.buckets[band][key] {
 			if sc.candSet[idx>>6]&(1<<uint(idx&63)) != 0 {
 				continue
@@ -181,10 +246,20 @@ func (sh *shard) probeCandidates(q *packedQuery, sc *shardScratch) {
 	}
 }
 
-// scoreCandidates scores the indexes probeCandidates collected.
+// scoreCandidates scores the indexes probeCandidates collected. If a
+// compaction reassigned row indexes since the probe (structGen moved),
+// the captured candidates are stale; the shard falls back to scoring
+// every row so the query still sees a consistent stripe.
 func (sh *shard) scoreCandidates(dst []Result, q *packedQuery, minSim float64, sc *shardScratch) []Result {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	if sc.gen != sh.structGen {
+		sc.fullScanned = true
+		for i := range sh.names {
+			dst = sh.scoreRow(dst, q, minSim, int32(i))
+		}
+		return dst
+	}
 	for _, idx := range sc.cands {
 		dst = sh.scoreRow(dst, q, minSim, idx)
 	}
@@ -199,6 +274,12 @@ func (sh *shard) scoreCandidates(dst []Result, q *packedQuery, minSim float64, s
 func (sh *shard) scanRestAppend(dst []Result, q *packedQuery, minSim float64, sc *shardScratch) []Result {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	if sc.fullScanned || sc.gen != sh.structGen {
+		// The candidate pass already swept every row (stale-generation
+		// fallback), or the bitset no longer describes current row
+		// indexes; either way there is no meaningful complement.
+		return dst
+	}
 	probed := len(sc.candSet) << 6
 	for i := range sh.names {
 		if i < probed && sc.candSet[i>>6]&(1<<uint(i&63)) != 0 {
@@ -214,6 +295,9 @@ func (sh *shard) scanRestAppend(dst []Result, q *packedQuery, minSim float64, sc
 // record whose content changed after indexing is still reported) or
 // falls below minSim. Callers hold the shard lock.
 func (sh *shard) scoreRow(dst []Result, q *packedQuery, minSim float64, idx int32) []Result {
+	if sh.rowDead(idx) {
+		return dst
+	}
 	row := sh.arena.row(int(idx))
 	if sh.names[idx] == q.name && slices.Equal(q.packed, row) {
 		return dst
@@ -244,11 +328,19 @@ func (sh *shard) tieredScanAppend(dst []Result, q *packedQuery, minSim float64, 
 }
 
 // tieredScoreCandidates is scoreCandidates for tiered shards: the LSH
-// probe's candidates go through the same prefilter→rescore pipeline.
+// probe's candidates go through the same prefilter→rescore pipeline,
+// with the same stale-generation full-scan fallback.
 func (sh *shard) tieredScoreCandidates(dst []Result, q *packedQuery, minSim float64, topK int, sc *shardScratch) []Result {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	sc.scored = sc.scored[:0]
+	if sc.gen != sh.structGen {
+		sc.fullScanned = true
+		for i := range sh.names {
+			sh.prefilterRow(q, minSim, int32(i), sc)
+		}
+		return sh.tieredRescore(dst, q, minSim, topK, sc, len(sh.names))
+	}
 	for _, idx := range sc.cands {
 		sh.prefilterRow(q, minSim, idx, sc)
 	}
@@ -260,6 +352,9 @@ func (sh *shard) tieredScoreCandidates(dst []Result, q *packedQuery, minSim floa
 func (sh *shard) tieredScanRest(dst []Result, q *packedQuery, minSim float64, topK int, sc *shardScratch) []Result {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	if sc.fullScanned || sc.gen != sh.structGen {
+		return dst
+	}
 	probed := len(sc.candSet) << 6
 	sc.scored = sc.scored[:0]
 	n := 0
@@ -279,6 +374,9 @@ func (sh *shard) tieredScanRest(dst []Result, q *packedQuery, minSim float64, to
 // matches whenever the full slot does), so this cut never drops a row
 // the full scan would have kept. Callers hold the shard lock.
 func (sh *shard) prefilterRow(q *packedQuery, minSim float64, idx int32, sc *shardScratch) {
+	if sh.rowDead(idx) {
+		return
+	}
 	var m int
 	var sim float64
 	if q.slots != 0 && q.shingles != 0 && sh.shingles[idx] != 0 {
@@ -359,6 +457,67 @@ func (sh *shard) tieredRescore(dst []Result, q *packedQuery, minSim float64, top
 	}
 	t.rescored.Add(uint64(rescored))
 	return dst
+}
+
+// compactLocked rewrites the stripe without its tombstoned rows:
+// fresh id map, names, shingles, packed arena, and band postings — and
+// on tiered shards a fresh full-width store whose segments are written
+// under new file names (the committed manifest still references the
+// old ones; they are swept after the next manifest commit). Row indexes
+// are reassigned, so structGen is bumped; in-flight queries that
+// captured candidates under the old generation rescan instead. On any
+// error the shard is left untouched. It returns the number of rows
+// dropped. Callers hold sh.mu exclusively.
+func (sh *shard) compactLocked(p LSHParams, slots, bits int) (int, error) {
+	if sh.deadRows == 0 {
+		return 0, nil
+	}
+	live := len(sh.names) - sh.deadRows
+	ids := make(map[string]int32, live)
+	names := make([]string, 0, live)
+	shingles := make([]int32, 0, live)
+	arena := newSigArena(slots, bits)
+	bands := newBandIndex(p)
+	var full *fullStore
+	if sh.full != nil {
+		full = newFullStore(slots, sh.full.shardID, sh.full.tier)
+	}
+	var rsc rowScratch
+	sig := make([]uint64, 0, slots)
+	for i := range sh.names {
+		if sh.rowDead(int32(i)) {
+			continue
+		}
+		if full != nil {
+			row, err := sh.full.row(i, &rsc)
+			if err != nil {
+				full.close()
+				return 0, err
+			}
+			sig = append(sig[:0], row...)
+			if err := full.append(sig); err != nil {
+				full.close()
+				return 0, err
+			}
+		} else {
+			sig = sh.arena.appendUnpacked(sig[:0], i)
+		}
+		idx := int32(arena.appendSig(sig))
+		ids[sh.names[i]] = idx
+		names = append(names, sh.names[i])
+		shingles = append(shingles, sh.shingles[i])
+		bands.add(idx, sig, sh.mask)
+	}
+	dropped := sh.deadRows
+	if sh.full != nil {
+		sh.full.close()
+		sh.full = full
+	}
+	sh.ids, sh.names, sh.shingles = ids, names, shingles
+	sh.arena, sh.bands = arena, bands
+	sh.dead, sh.deadRows = nil, 0
+	sh.structGen++
+	return dropped, nil
 }
 
 // shardFor maps a record name onto one of n stripes with FNV-1a.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync/atomic"
 )
@@ -26,6 +27,15 @@ type tierState struct {
 	survived   atomic.Uint64 // rows past the prefilter minSim cut
 	rescored   atomic.Uint64 // rows actually read full-width
 	readErrors atomic.Uint64 // full-width reads that failed (row skipped)
+
+	// Write-ahead-log state: the index-wide mutation sequence the
+	// per-shard logs share, and the counters behind WALStats.
+	walSeq        atomic.Uint64 // last sequence number handed out
+	walAppends    atomic.Uint64 // frames appended since open
+	walFsyncs     atomic.Uint64 // fsyncs performed by sync
+	walFsyncNanos atomic.Uint64 // total nanoseconds spent in fsync
+	walReplayed   atomic.Uint64 // frames replayed by the last open
+	walTornBytes  atomic.Uint64 // torn-tail bytes truncated by the last open
 }
 
 func (t *tierState) segmentsDir() string { return filepath.Join(t.dataDir, "segments") }
@@ -85,6 +95,26 @@ func (fs *fullStore) segPath(base int) string {
 	return filepath.Join(fs.tier.segmentsDir(), fmt.Sprintf("shard-%04d-%010d.seg", fs.shardID, base))
 }
 
+// freshSegPath returns a segment path for base that no existing file
+// occupies. After a compaction the canonical name may still be taken by
+// an old-generation segment the committed manifest references (it is
+// only swept after the next manifest commit), so sealing probes
+// generation-suffixed names until one is free.
+func (fs *fullStore) freshSegPath(base int) (string, error) {
+	path := fs.segPath(base)
+	for gen := 1; ; gen++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", fmt.Errorf("tier: %w", err)
+		}
+		if gen > 9999 {
+			return "", fmt.Errorf("tier: no free segment name for shard %d base %d", fs.shardID, base)
+		}
+		path = filepath.Join(fs.tier.segmentsDir(), fmt.Sprintf("shard-%04d-%010d-c%04d.seg", fs.shardID, base, gen))
+	}
+}
+
 // append adds one full-width signature as the store's next row, sealing
 // the head into a segment when it reaches segmentRows. A failed seal
 // (disk full, permissions) rolls the row back out of the head so the
@@ -109,7 +139,10 @@ func (fs *fullStore) sealHead() error {
 	if rows == 0 {
 		return nil
 	}
-	path := fs.segPath(fs.headBase)
+	path, err := fs.freshSegPath(fs.headBase)
+	if err != nil {
+		return err
+	}
 	crc, err := writeSegment(path, fs.headBase, fs.slots, rows, fs.head)
 	if err != nil {
 		return err

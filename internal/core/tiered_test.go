@@ -164,17 +164,17 @@ func TestTieredSaveDirLoadDirRoundTrip(t *testing.T) {
 	if err := ix.SaveDir(); err != nil {
 		t.Fatal(err)
 	}
-	if !IsTieredDir(dir) {
+	if !IsTieredDir(dir) { //nolint:staticcheck // deprecated wrapper must keep working
 		t.Fatalf("IsTieredDir(%s) = false after SaveDir", dir)
 	}
 
-	got, err := LoadDir(dir)
+	got, err := Open(dir)
 	if err != nil {
-		t.Fatalf("LoadDir: %v", err)
+		t.Fatalf("Open: %v", err)
 	}
 	defer got.Close()
 	gm, wm := got.Metadata(), ix.Metadata()
-	if gm.Format != FormatV5 || gm.Bits != 8 || gm.RecordCount != 300 ||
+	if gm.Format != FormatV6 || gm.Bits != 8 || gm.RecordCount != 300 ||
 		gm.Name != wm.Name || gm.K != wm.K || gm.SignatureSize != wm.SignatureSize ||
 		gm.Scheme != wm.Scheme || gm.Shards != wm.Shards {
 		t.Fatalf("loaded metadata = %+v, want to match %+v", gm, wm)
@@ -211,9 +211,9 @@ func TestTieredSaveDirLoadDirRoundTrip(t *testing.T) {
 	if segsAfter := countSegments(t, dir); segsAfter <= segsBefore {
 		t.Fatalf("second snapshot did not append segments: %d -> %d", segsBefore, segsAfter)
 	}
-	again, err := LoadDir(dir)
+	again, err := Open(dir)
 	if err != nil {
-		t.Fatalf("LoadDir after incremental snapshot: %v", err)
+		t.Fatalf("Open after incremental snapshot: %v", err)
 	}
 	defer again.Close()
 	if again.Len() != 400 || again.Get("rec-399") == nil {
@@ -324,10 +324,10 @@ func TestLoadDirRejectsCorruptSegments(t *testing.T) {
 			dir := t.TempDir()
 			seg := saveTieredDir(t, dir)
 			tc.corrupt(t, seg)
-			ix, err := LoadDir(dir)
+			ix, err := Open(dir)
 			if err == nil {
 				ix.Close()
-				t.Fatalf("LoadDir loaded a corrupt directory")
+				t.Fatalf("Open loaded a corrupt directory")
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
@@ -344,9 +344,9 @@ func TestLoadDirRejectsCorruptSegments(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("{not json"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if ix, err := LoadDir(dir); err == nil {
+		if ix, err := Open(dir); err == nil {
 			ix.Close()
-			t.Fatal("LoadDir accepted a corrupt manifest")
+			t.Fatal("Open accepted a corrupt manifest")
 		}
 	})
 }
@@ -382,7 +382,7 @@ func TestSegmentPreadFallback(t *testing.T) {
 	if err := tiered.Index().SaveDir(); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadDir(tiered.Index().DataDir())
+	loaded, err := Open(tiered.Index().DataDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +431,7 @@ func TestEnableTieredUpgradesV4(t *testing.T) {
 		t.Fatalf("EnableTiered: %v", err)
 	}
 	defer ix.Close()
-	if m := ix.Metadata(); m.Format != FormatV5 || m.Bits != 8 || !ix.Tiered() {
+	if m := ix.Metadata(); m.Format != FormatV6 || m.Bits != 8 || !ix.Tiered() {
 		t.Fatalf("upgraded metadata = %+v", m)
 	}
 	got, err := SearchTopK(ix, q, 10, 0, nil)
@@ -446,7 +446,7 @@ func TestEnableTieredUpgradesV4(t *testing.T) {
 	if err := ix.SaveDir(); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadDir(dir)
+	loaded, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -522,7 +522,7 @@ func TestTieredSearchRejectsTruncatedQuery(t *testing.T) {
 
 // TestTieredSaveFormats: tiered indexes persist through SaveDir only —
 // the JSON writer has nowhere to put segments — and a v5 format number
-// in a JSON file redirects the reader to LoadDir.
+// in a JSON file redirects the reader to core.Open.
 func TestTieredSaveFormats(t *testing.T) {
 	tiered, _ := tieredEngines(t, 20, 32)
 	var buf bytes.Buffer
@@ -530,10 +530,12 @@ func TestTieredSaveFormats(t *testing.T) {
 		!strings.Contains(err.Error(), "SaveDir") {
 		t.Fatalf("JSON Save on tiered index: err = %v, want SaveDir redirect", err)
 	}
-	const v5 = `{"meta":{"name":"x","format":5,"k":4,"signature_size":2,"scheme":"oph","bits":8,"bands":1,"rows_per_band":2,"shards":4},"sketches":[]}`
-	if _, err := LoadIndex(bytes.NewReader([]byte(v5))); err == nil ||
-		!strings.Contains(err.Error(), "LoadDir") {
-		t.Fatalf("LoadIndex of a v5 file: err = %v, want LoadDir redirect", err)
+	for _, format := range []int{5, 6} {
+		v := fmt.Sprintf(`{"meta":{"name":"x","format":%d,"k":4,"signature_size":2,"scheme":"oph","bits":8,"bands":1,"rows_per_band":2,"shards":4},"sketches":[]}`, format)
+		if _, err := LoadIndex(bytes.NewReader([]byte(v))); err == nil ||
+			!strings.Contains(err.Error(), "core.Open") {
+			t.Fatalf("LoadIndex of a v%d file: err = %v, want core.Open redirect", format, err)
+		}
 	}
 }
 

@@ -1,0 +1,482 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// walEngine builds a tiered engine over dir with n records committed
+// by one SaveDir, so the per-shard WALs are attached and every later
+// acked mutation is durable through them.
+func walEngine(t *testing.T, dir string, n int) *Engine {
+	t.Helper()
+	eng, err := NewEngine(Options{
+		IndexName: "wal", Bits: 8,
+		Tiered: true, DataDir: dir, SegmentRows: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := eng.Add(Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Index().SaveDir(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestWALCrashRecovery is the tentpole's durability proof: mutations
+// acknowledged after the last snapshot exist only in the WALs, and a
+// reopen must reconstruct exactly the acknowledged state — every acked
+// add present, every acked delete absent — from replay alone.
+func TestWALCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	eng := walEngine(t, dir, 40)
+
+	// Acked delta after the snapshot: 20 adds and 10 deletes, each
+	// synced to the WAL by the engine's ack path. No second SaveDir.
+	for i := 40; i < 60; i++ {
+		if _, err := eng.Add(Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if ok, err := eng.Delete(fmt.Sprintf("rec-%d", i)); !ok || err != nil {
+			t.Fatalf("delete rec-%d = %v, %v", i, ok, err)
+		}
+	}
+	// The crash: no snapshot of the delta. Close only releases file
+	// handles; everything acked is already fsynced in the WALs.
+	if err := eng.Index().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	defer ix.Close()
+	if ix.Len() != 50 {
+		t.Fatalf("recovered %d records, want 50", ix.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if ix.Has(fmt.Sprintf("rec-%d", i)) {
+			t.Fatalf("deleted rec-%d resurrected by replay", i)
+		}
+	}
+	for i := 10; i < 60; i++ {
+		if !ix.Has(fmt.Sprintf("rec-%d", i)) {
+			t.Fatalf("acked rec-%d lost in the crash", i)
+		}
+	}
+	ws := ix.WAL()
+	if ws == nil || ws.ReplayedFrames != 30 {
+		t.Fatalf("WAL stats after replay = %+v, want 30 replayed frames", ws)
+	}
+	// Deleted records must not surface in search either: query with a
+	// deleted record's own payload, the strongest possible attractor.
+	q := NewEngineSketch(t, "q", benchData(256, 6)) // rec-5's data, rec-5 deleted
+	res, err := SearchTopK(ix, q, 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		for i := 0; i < 10; i++ {
+			if r.Ref == fmt.Sprintf("rec-%d", i) {
+				t.Fatalf("deleted record %s in search results", r.Ref)
+			}
+		}
+	}
+	// A second reopen replays the same WAL suffix over the same
+	// snapshot and must converge to the same state (idempotence).
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.Len() != 50 || again.Has("rec-3") || !again.Has("rec-59") {
+		t.Fatalf("second replay diverged: len=%d", again.Len())
+	}
+}
+
+// NewEngineSketch sketches data with the default engine parameters so
+// tests can build queries without holding an engine.
+func NewEngineSketch(t *testing.T, name string, data []byte) *Sketch {
+	t.Helper()
+	eng, err := NewEngine(Options{IndexName: "sketcher"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Sketcher().Sketch(Record{Name: name, Data: data})
+}
+
+// TestWALTornTail: a crash mid-append leaves a torn final frame. The
+// scanner must keep the valid prefix, truncate the tail, and report
+// the torn bytes — never reject the whole log.
+func TestWALTornTail(t *testing.T) {
+	// nonEmptyWALs returns the shard WALs holding at least one frame.
+	nonEmptyWALs := func(t *testing.T, dir string) []string {
+		t.Helper()
+		paths, err := filepath.Glob(filepath.Join(dir, "wal", "shard-*.wal"))
+		if err != nil || len(paths) == 0 {
+			t.Fatalf("no WAL files in %s: %v", dir, err)
+		}
+		var out []string
+		for _, p := range paths {
+			if fi, err := os.Stat(p); err == nil && fi.Size() > walHeaderSize {
+				out = append(out, p)
+			}
+		}
+		if len(out) == 0 {
+			t.Fatal("no WAL carries frames")
+		}
+		return out
+	}
+
+	t.Run("garbage tail", func(t *testing.T) {
+		dir := t.TempDir()
+		eng := walEngine(t, dir, 8)
+		for i := 8; i < 20; i++ {
+			if _, err := eng.Add(Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Index().Close(); err != nil {
+			t.Fatal(err)
+		}
+		// A torn frame: a length word promising more than is there.
+		garbage := []byte{0xFF, 0xFF, 0xFF, 0x7F, 0xde, 0xad, 0xbe}
+		f, err := os.OpenFile(nonEmptyWALs(t, dir)[0], os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(garbage); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		ix, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open with torn tail: %v", err)
+		}
+		defer ix.Close()
+		if ix.Len() != 20 {
+			t.Fatalf("torn tail lost whole frames: len=%d, want 20", ix.Len())
+		}
+		if ws := ix.WAL(); ws == nil || ws.TornBytes != uint64(len(garbage)) {
+			t.Fatalf("WAL stats = %+v, want %d torn bytes", ws, len(garbage))
+		}
+	})
+
+	t.Run("chopped frame", func(t *testing.T) {
+		dir := t.TempDir()
+		eng := walEngine(t, dir, 8)
+		for i := 8; i < 20; i++ {
+			if _, err := eng.Add(Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Index().Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Chop one byte off a WAL's final frame: exactly that frame (one
+		// acked add) is lost, everything before it survives.
+		path := nonEmptyWALs(t, dir)[0]
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()-1); err != nil {
+			t.Fatal(err)
+		}
+
+		ix, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open with chopped frame: %v", err)
+		}
+		defer ix.Close()
+		if ix.Len() != 19 {
+			t.Fatalf("chopped frame: len=%d, want 19 (one frame lost)", ix.Len())
+		}
+		if ws := ix.WAL(); ws == nil || ws.TornBytes == 0 {
+			t.Fatalf("WAL stats = %+v, want torn bytes reported", ws)
+		}
+	})
+}
+
+// TestDeleteSemantics covers the tombstone API on both layouts:
+// Delete reports presence, Has/Get/Len see the removal immediately,
+// re-adding a deleted name is legal, and deleted records never appear
+// in search results.
+func TestDeleteSemantics(t *testing.T) {
+	tiered, plain := tieredEngines(t, 60, 16)
+	for _, eng := range []*Engine{tiered, plain} {
+		ix := eng.Index()
+		if _, err := ix.Delete(""); err == nil {
+			t.Fatal("Delete of empty name succeeded")
+		}
+		if ok, err := eng.Delete("rec-7"); !ok || err != nil {
+			t.Fatalf("delete rec-7 = %v, %v", ok, err)
+		}
+		if ok, err := eng.Delete("rec-7"); ok || err != nil {
+			t.Fatalf("second delete rec-7 = %v, %v, want false", ok, err)
+		}
+		if ix.Has("rec-7") || ix.Get("rec-7") != nil || ix.Len() != 59 {
+			t.Fatalf("rec-7 still visible after delete: len=%d", ix.Len())
+		}
+		// The strongest attractor: rec-7's own payload.
+		q := eng.Sketcher().Sketch(Record{Name: "q", Data: benchData(256, 8)})
+		res, err := SearchTopK(ix, q, 60, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Ref == "rec-7" {
+				t.Fatal("deleted rec-7 in search results")
+			}
+		}
+		// Re-add under the same name.
+		if ok, err := eng.Add(Record{Name: "rec-7", Data: benchData(256, 8)}); !ok || err != nil {
+			t.Fatalf("re-add rec-7 = %v, %v", ok, err)
+		}
+		if !ix.Has("rec-7") || ix.Len() != 60 {
+			t.Fatalf("re-added rec-7 invisible: len=%d", ix.Len())
+		}
+		dead, rows := ix.Tombstones()
+		if dead == 0 || rows <= ix.Len() {
+			t.Fatalf("tombstones = %d/%d, want dead rows behind %d live records", dead, rows, ix.Len())
+		}
+	}
+}
+
+// TestCompactionEquivalence: compaction reclaims tombstoned rows
+// without changing anything observable — search results are identical
+// before and after, on both layouts, and deleted records appear in
+// neither.
+func TestCompactionEquivalence(t *testing.T) {
+	tiered, plain := tieredEngines(t, 300, 32)
+	for i := 0; i < 90; i += 2 {
+		name := fmt.Sprintf("rec-%d", i)
+		if ok, err := tiered.Delete(name); !ok || err != nil {
+			t.Fatalf("tiered delete %s: %v, %v", name, ok, err)
+		}
+		if ok, err := plain.Delete(name); !ok || err != nil {
+			t.Fatalf("plain delete %s: %v, %v", name, ok, err)
+		}
+	}
+	queries := []*Sketch{
+		plain.Sketcher().Sketch(Record{Name: "q1", Data: benchData(256, 3)}),
+		plain.Sketcher().Sketch(Record{Name: "q2", Data: benchData(256, 11)}),
+		plain.Sketcher().Sketch(Record{Name: "q3", Data: benchData(256, 77777)}),
+	}
+	for _, eng := range []*Engine{tiered, plain} {
+		ix := eng.Index()
+		var before [][]Result
+		for _, q := range queries {
+			res, err := SearchTopK(ix, q, 20, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before = append(before, res)
+		}
+		if err := ix.Compact(); err != nil {
+			t.Fatalf("Compact: %v", err)
+		}
+		if dead, _ := ix.Tombstones(); dead != 0 {
+			t.Fatalf("tombstones after compaction = %d, want 0", dead)
+		}
+		for qi, q := range queries {
+			after, err := SearchTopK(ix, q, 20, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(after) != len(before[qi]) {
+				t.Fatalf("query %d: %d results after compaction, want %d", qi, len(after), len(before[qi]))
+			}
+			for i := range after {
+				if after[i] != before[qi][i] {
+					t.Fatalf("query %d result %d changed across compaction: %+v vs %+v", qi, i, after[i], before[qi][i])
+				}
+			}
+			for _, r := range after {
+				for i := 0; i < 90; i += 2 {
+					if r.Ref == fmt.Sprintf("rec-%d", i) {
+						t.Fatalf("deleted %s in post-compaction results", r.Ref)
+					}
+				}
+			}
+		}
+	}
+	// Snapshots auto-compact past the threshold and round-trip the
+	// compacted state.
+	ix := tiered.Index()
+	if err := ix.SaveDir(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Open(ix.DataDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != ix.Len() {
+		t.Fatalf("reload after compaction: len=%d, want %d", loaded.Len(), ix.Len())
+	}
+	for qi, q := range queries {
+		want, err := SearchTopK(ix, q, 20, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SearchTopK(loaded, q, 20, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d changed across reload: %+v vs %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSaveDirAutoCompacts: once the tombstone ratio crosses the
+// threshold, the next snapshot compacts as it seals.
+func TestSaveDirAutoCompacts(t *testing.T) {
+	dir := t.TempDir()
+	eng := walEngine(t, dir, 100)
+	defer eng.Index().Close()
+	for i := 0; i < 40; i++ {
+		if ok, err := eng.Delete(fmt.Sprintf("rec-%d", i)); !ok || err != nil {
+			t.Fatalf("delete rec-%d: %v, %v", i, ok, err)
+		}
+	}
+	if err := eng.Index().SaveDir(); err != nil {
+		t.Fatal(err)
+	}
+	if dead, _ := eng.Index().Tombstones(); dead != 0 {
+		t.Fatalf("snapshot above threshold left %d dead rows", dead)
+	}
+	st := eng.Stats()
+	if st.Compactions == 0 || st.CompactedRows != 40 {
+		t.Fatalf("compaction counters = %d/%d, want >0/40", st.Compactions, st.CompactedRows)
+	}
+}
+
+// TestOpenDispatch: Open resolves every on-disk layout and rejects
+// non-indexes with a diagnosable error.
+func TestOpenDispatch(t *testing.T) {
+	// JSON file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.json")
+	ix := NewIndex("open", 4, 32)
+	s := mustSketcher(t, 4, 32)
+	if _, err := ix.Add(s.Sketch(Record{Name: "rec", Data: []byte("payload for the open dispatch test")})); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil || got.Len() != 1 {
+		t.Fatalf("Open(json) = %v, len=%d", err, got.Len())
+	}
+	// Tiered directory.
+	tdir := t.TempDir()
+	walEngine(t, tdir, 10).Index().Close()
+	tx, err := Open(tdir)
+	if err != nil || tx.Len() != 10 {
+		t.Fatalf("Open(dir) = %v", err)
+	}
+	tx.Close()
+	// A directory without a manifest is not an index.
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("Open of an empty directory succeeded")
+	}
+	// Neither is a missing path.
+	if _, err := Open(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("Open of a missing path succeeded")
+	}
+}
+
+// TestLiveRebucketUnderLoad: Rebucket on a live index races writers
+// and searchers; nothing may error, deadlock, or (under -race) trip
+// the detector, and the index must be fully searchable afterwards.
+func TestLiveRebucketUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	eng := walEngine(t, dir, 200)
+	defer eng.Index().Close()
+	ix := eng.Index()
+	shards := ix.Metadata().Shards
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer: adds and deletes
+		defer wg.Done()
+		for i := 200; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.Add(Record{Name: fmt.Sprintf("rec-%d", i), Data: benchData(256, int64(i+1))}); err != nil {
+				t.Errorf("add under rebucket: %v", err)
+				return
+			}
+			if _, err := eng.Delete(fmt.Sprintf("rec-%d", i-150)); err != nil {
+				t.Errorf("delete under rebucket: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // searcher: both modes
+		defer wg.Done()
+		q := eng.Sketcher().Sketch(Record{Name: "q", Data: benchData(256, 5)})
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := SearchTopKLSH(ix, q, 10, 0, nil); err != nil {
+				t.Errorf("lsh search under rebucket: %v", err)
+				return
+			}
+			if _, err := SearchTopK(ix, q, 10, 0, nil); err != nil {
+				t.Errorf("exact search under rebucket: %v", err)
+				return
+			}
+		}
+	}()
+	schemes := []LSHParams{{Bands: 32, RowsPerBand: 4}, {Bands: 16, RowsPerBand: 8}, {Bands: 64, RowsPerBand: 2}}
+	for i := 0; i < 12; i++ {
+		if err := ix.Rebucket(schemes[i%len(schemes)], shards); err != nil {
+			t.Fatalf("rebucket %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Changing the shard count of a tiered index stays rejected.
+	if err := ix.Rebucket(schemes[0], shards+1); err == nil {
+		t.Fatal("tiered rebucket with a changed shard count succeeded")
+	}
+	// The rebucketed index still answers correctly: a live record's own
+	// payload must find it via the rebuilt postings.
+	q := eng.Sketcher().Sketch(Record{Name: "q", Data: benchData(256, 100)})
+	res, err := SearchTopKLSH(ix, q, 5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Ref != "rec-99" {
+		t.Fatalf("post-rebucket search missed rec-99: %+v", res)
+	}
+}

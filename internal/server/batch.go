@@ -13,6 +13,11 @@ import (
 // drain are refused instead of crashing the shutdown.
 var errIngestClosed = errors.New("ingest queue is shut down")
 
+// errQueueFull reports an enqueue against a full queue; the handler
+// maps it to 429 with Retry-After so clients shed load instead of
+// piling up blocked on the server.
+var errQueueFull = errors.New("ingest queue is full")
+
 // ingestItem is one ingest request waiting in the queue: its records
 // and a buffered reply channel the batcher resolves exactly once.
 type ingestItem struct {
@@ -32,9 +37,10 @@ type ingestResult struct {
 // coalescing every immediately-pending request (up to maxBatch records)
 // into one Engine.AddBatchResults call, so a storm of small requests
 // pays for one pool fan-out instead of many tiny ones, while a lone
-// request is flushed without waiting. Enqueueing blocks when the queue
-// is full — backpressure, not load shedding — until the client gives
-// up or a slot frees.
+// request is flushed without waiting. Enqueueing against a full queue
+// fails fast with errQueueFull — explicit load shedding (429 upstream)
+// instead of parking clients on the channel, so a slow disk surfaces
+// as backpressure the client can see and pace against.
 type batcher struct {
 	eng      *core.Engine
 	ch       chan ingestItem
@@ -63,10 +69,11 @@ func newBatcher(eng *core.Engine, queueDepth, maxBatch int, m *metrics) *batcher
 }
 
 // enqueue submits recs and waits for the batcher's verdict. It returns
-// ctx.Err() if the queue stays full or the reply does not arrive before
-// the request context ends, and errIngestClosed after close; an
-// abandoned reply is still delivered into the buffered channel, so the
-// batcher never blocks on a gone client.
+// errQueueFull immediately when the queue has no free slot, ctx.Err()
+// if the reply does not arrive before the request context ends, and
+// errIngestClosed after close; an abandoned reply is still delivered
+// into the buffered channel, so the batcher never blocks on a gone
+// client.
 func (b *batcher) enqueue(ctx context.Context, recs []core.Record) ([]bool, error) {
 	item := ingestItem{recs: recs, resp: make(chan ingestResult, 1)}
 	b.mu.RLock()
@@ -74,15 +81,14 @@ func (b *batcher) enqueue(ctx context.Context, recs []core.Record) ([]bool, erro
 		b.mu.RUnlock()
 		return nil, errIngestClosed
 	}
-	// The read lock is held across the (possibly blocking) send; the
-	// drainer keeps consuming until the channel actually closes, so the
-	// send always completes and close can take the write lock.
+	// The read lock is held across the (non-blocking) send so close
+	// cannot close the channel mid-send.
 	select {
 	case b.ch <- item:
 		b.mu.RUnlock()
-	case <-ctx.Done():
+	default:
 		b.mu.RUnlock()
-		return nil, ctx.Err()
+		return nil, errQueueFull
 	}
 	select {
 	case res := <-item.resp:

@@ -109,19 +109,88 @@ type IngestStats struct {
 	MaxBatch       int   `json:"max_batch"`
 }
 
-// errorBody is the JSON shape of every non-2xx response.
+// DeleteResponse is the body of a successful DELETE /v1/records/{name}.
+type DeleteResponse struct {
+	Deleted string `json:"deleted"`
+}
+
+// RebucketRequest is the body of POST /v1/admin/rebucket. Shards left
+// zero keeps the current shard count (the only legal choice on a
+// tiered index).
+type RebucketRequest struct {
+	Bands       int `json:"bands"`
+	RowsPerBand int `json:"rows_per_band"`
+	Shards      int `json:"shards"`
+}
+
+// RebucketResponse echoes the banding scheme now in effect.
+type RebucketResponse struct {
+	Bands       int `json:"bands"`
+	RowsPerBand int `json:"rows_per_band"`
+	Shards      int `json:"shards"`
+	Records     int `json:"records"`
+}
+
+// ErrorDetail is the error object inside every non-2xx response. Code
+// is a stable machine-readable slug (the constants below); Message is
+// prose for humans and logs.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorBody is the JSON envelope of every non-2xx response:
+// {"error":{"code":"...","message":"..."}}.
 type errorBody struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
+}
+
+// Error codes carried in ErrorDetail.Code.
+const (
+	codeBadRequest       = "bad_request"
+	codeNotFound         = "not_found"
+	codePayloadTooLarge  = "payload_too_large"
+	codeQueueFull        = "queue_full"
+	codeShuttingDown     = "shutting_down"
+	codeCanceled         = "canceled"
+	codeOverloaded       = "overloaded"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeInternal         = "internal"
+)
+
+// codeForStatus maps a bare HTTP status (from the routing layer, which
+// never picks its own slug) to the closest error code.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusNotFound:
+		return codeNotFound
+	case http.StatusMethodNotAllowed:
+		return codeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return codePayloadTooLarge
+	case http.StatusTooManyRequests:
+		return codeQueueFull
+	case http.StatusServiceUnavailable:
+		return codeOverloaded
+	default:
+		if status >= 500 {
+			return codeInternal
+		}
+		return codeBadRequest
+	}
 }
 
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/records", s.handleIngest)
-	mux.HandleFunc("POST /v1/search", s.handleSearch)
-	mux.HandleFunc("GET /v1/records/{name}", s.handleGetRecord)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	mux.HandleFunc("POST /v1/records", s.timed("ingest", s.handleIngest))
+	mux.HandleFunc("POST /v1/search", s.timed("search", s.handleSearch))
+	mux.HandleFunc("GET /v1/records/{name}", s.timed("get_record", s.handleGetRecord))
+	mux.HandleFunc("DELETE /v1/records/{name}", s.timed("delete_record", s.handleDeleteRecord))
+	mux.HandleFunc("POST /v1/admin/rebucket", s.timed("rebucket", s.handleRebucket))
+	mux.HandleFunc("GET /healthz", s.timed("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /stats", s.timed("stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.timed("metrics", s.handleMetrics))
+	return s.jsonErrors(mux)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -131,33 +200,41 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Records) == 0 {
-		writeError(w, http.StatusBadRequest, "ingest: no records in request")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "ingest: no records in request")
 		return
 	}
 	if len(req.Records) > s.cfg.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
 			fmt.Sprintf("ingest: batch of %d records exceeds the %d-record limit", len(req.Records), s.cfg.MaxBatch))
 		return
 	}
 	recs := make([]core.Record, len(req.Records))
 	for i, rec := range req.Records {
 		if rec.Name == "" {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("ingest: record %d has an empty name", i))
+			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("ingest: record %d has an empty name", i))
 			return
 		}
 		recs[i] = core.Record{Name: rec.Name, Data: []byte(rec.Data)}
 	}
 	oks, err := s.ingest.enqueue(r.Context(), recs)
 	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			// Fail fast instead of parking the client on a full queue: the
+			// 429 carries Retry-After so well-behaved clients back off.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, codeQueueFull,
+				fmt.Sprintf("ingest: queue is full (%d requests pending); retry later", s.cfg.QueueDepth))
+			return
+		}
 		if errors.Is(err, errIngestClosed) {
-			writeError(w, http.StatusServiceUnavailable, "ingest: server is shutting down")
+			writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "ingest: server is shutting down")
 			return
 		}
 		if errors.Is(err, r.Context().Err()) {
-			writeError(w, http.StatusServiceUnavailable, "ingest: request canceled while queued")
+			writeError(w, http.StatusServiceUnavailable, codeCanceled, "ingest: request canceled while queued")
 			return
 		}
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("ingest: %v", err))
+		writeError(w, http.StatusInternalServerError, codeInternal, fmt.Sprintf("ingest: %v", err))
 		return
 	}
 	resp := IngestResponse{Received: len(recs)}
@@ -179,7 +256,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.Mode != "" {
 		var err error
 		if mode, err = core.ParseSearchMode(req.Mode); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 			return
 		}
 	}
@@ -188,13 +265,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		k = 10
 	}
 	if k < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("search: k must be positive, got %d", k))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("search: k must be positive, got %d", k))
 		return
 	}
 	s.metrics.searches.Add(1)
 	results, err := s.eng.SearchMode(core.Record{Name: req.Name, Data: []byte(req.Data)}, mode, k, req.MinSimilarity)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("search: %v", err))
+		writeError(w, http.StatusInternalServerError, codeInternal, fmt.Sprintf("search: %v", err))
 		return
 	}
 	// The hit slice and the response struct come from pools: writeJSON
@@ -228,7 +305,7 @@ func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 	// would reconstruct (allocate + unpack) the record's signature from
 	// the packed arena just to throw it away.
 	if !ix.Has(name) {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("record %q is not indexed", name))
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("record %q is not indexed", name))
 		return
 	}
 	meta := ix.Metadata()
@@ -236,6 +313,47 @@ func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 		Name:          name,
 		K:             meta.K,
 		SignatureSize: meta.SignatureSize,
+	})
+}
+
+func (s *Server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ok, err := s.eng.Delete(name)
+	if err != nil {
+		// The tombstone may be in memory but its WAL record did not reach
+		// disk; withholding the ack keeps "deleted" meaning durable.
+		writeError(w, http.StatusInternalServerError, codeInternal, fmt.Sprintf("delete: %v", err))
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("record %q is not indexed", name))
+		return
+	}
+	s.metrics.deletes.Add(1)
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: name})
+}
+
+func (s *Server) handleRebucket(w http.ResponseWriter, r *http.Request) {
+	var req RebucketRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	ix := s.eng.Index()
+	shards := req.Shards
+	if shards == 0 {
+		shards = ix.Metadata().Shards
+	}
+	lsh := core.LSHParams{Bands: req.Bands, RowsPerBand: req.RowsPerBand}
+	if err := ix.Rebucket(lsh, shards); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	s.metrics.rebuckets.Add(1)
+	writeJSON(w, http.StatusOK, RebucketResponse{
+		Bands:       lsh.Bands,
+		RowsPerBand: lsh.RowsPerBand,
+		Shards:      shards,
+		Records:     ix.Len(),
 	})
 }
 
@@ -280,15 +398,15 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
 		return false
 	}
 	if dec.More() {
-		writeError(w, http.StatusBadRequest, "malformed JSON body: trailing data")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "malformed JSON body: trailing data")
 		return false
 	}
 	return true
@@ -319,6 +437,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorBody{Error: msg})
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorBody{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// marshalError renders the envelope for the routing-layer interceptor,
+// which writes it directly rather than through writeJSON.
+func marshalError(code, msg string) []byte {
+	b, _ := json.Marshal(errorBody{Error: ErrorDetail{Code: code, Message: msg}})
+	return append(b, '\n')
 }

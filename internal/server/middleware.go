@@ -2,12 +2,14 @@ package server
 
 import (
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// metrics holds the server's request counters, all lock-free so the
-// hot path never serializes on observability.
+// metrics holds the server's request counters, all lock-free on the
+// hot path so observability never serializes request handling.
 type metrics struct {
 	start time.Time
 
@@ -20,18 +22,80 @@ type metrics struct {
 	peakInFlight atomic.Int64 // high-water mark, proves the limiter's bound
 
 	searches       atomic.Int64
+	deletes        atomic.Int64
+	rebuckets      atomic.Int64
 	ingestRequests atomic.Int64
 	recordsAdded   atomic.Int64
 	batches        atomic.Int64 // coalesced AddBatch calls
 	batchedRecords atomic.Int64 // records across those calls
 	snapshots      atomic.Int64
+
+	// histMu guards registration only; routes() registers every endpoint
+	// once at startup and handlers observe through the returned pointer.
+	histMu    sync.Mutex
+	latencies map[string]*histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now()}
+	return &metrics{start: time.Now(), latencies: make(map[string]*histogram)}
 }
 
 func (m *metrics) uptime() time.Duration { return time.Since(m.start) }
+
+// latencyBuckets are the fixed upper bounds, in seconds, of every
+// endpoint latency histogram. They span sub-millisecond cache-warm
+// searches through multi-second compacting snapshots; observations
+// above the last bound land only in the implicit +Inf bucket.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// histogram is a fixed-bucket latency histogram in the Prometheus
+// style: per-bucket counts (non-cumulative in memory, summed at render
+// time), a running sum, and a total count, all atomics.
+type histogram struct {
+	counts   []atomic.Int64 // len(latencyBuckets)+1; last is +Inf overflow
+	sumNanos atomic.Int64
+	count    atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, secs)
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// hist returns the named endpoint's histogram, registering it on first
+// use. Called once per endpoint while routes are built.
+func (m *metrics) hist(name string) *histogram {
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	h, ok := m.latencies[name]
+	if !ok {
+		h = newHistogram()
+		m.latencies[name] = h
+	}
+	return h
+}
+
+// histNames returns the registered endpoint names, sorted so /metrics
+// output is stable.
+func (m *metrics) histNames() []string {
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	names := make([]string, 0, len(m.latencies))
+	for name := range m.latencies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // trackInFlight bumps the in-flight gauge and maintains its high-water
 // mark; the returned func undoes the bump.
@@ -89,7 +153,7 @@ func (s *Server) limit(next http.Handler) http.Handler {
 		case sem <- struct{}{}:
 			defer func() { <-sem }()
 		case <-r.Context().Done():
-			writeError(w, http.StatusServiceUnavailable, "server overloaded")
+			writeError(w, http.StatusServiceUnavailable, codeOverloaded, "server overloaded")
 			return
 		}
 		next.ServeHTTP(w, r)
@@ -109,4 +173,63 @@ func (s *Server) count(next http.Handler) http.Handler {
 		}
 		s.metrics.observeStatus(sw.code)
 	})
+}
+
+// timed wraps one endpoint's handler with its latency histogram.
+func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.hist(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.observe(time.Since(start))
+	}
+}
+
+// jsonErrors converts any plain-text error the routing layer emits —
+// ServeMux's own 404s and 405s, mainly — into the JSON error envelope,
+// so every error response on the API carries the same shape. Responses
+// our handlers write are untouched: writeJSON sets Content-Type to
+// application/json before WriteHeader, which is the discriminator.
+func (s *Server) jsonErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+// envelopeWriter rewrites non-JSON error responses into the envelope.
+// When it intercepts a status, the original handler's body is dropped
+// (Write reports success so upstream writers don't error out).
+type envelopeWriter struct {
+	http.ResponseWriter
+	wrote    bool
+	suppress bool
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if w.wrote {
+		return
+	}
+	w.wrote = true
+	if code >= 400 && w.Header().Get("Content-Type") != "application/json" {
+		w.suppress = true
+		body := marshalError(codeForStatus(code), http.StatusText(code))
+		h := w.Header()
+		h.Del("Content-Length")
+		h.Set("Content-Type", "application/json")
+		h.Set("X-Content-Type-Options", "nosniff")
+		w.ResponseWriter.WriteHeader(code)
+		_, _ = w.ResponseWriter.Write(body)
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.suppress {
+		return len(p), nil
+	}
+	return w.ResponseWriter.Write(p)
 }

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// handleMetrics renders the server's counters in the Prometheus text
+// exposition format (hand-rolled; the format is a few lines of fprintf
+// and not worth a dependency). Everything is namespaced under
+// sketchengine_.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	st := s.eng.Stats()
+	var buf bytes.Buffer
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&buf, "# HELP sketchengine_%s %s\n# TYPE sketchengine_%s counter\nsketchengine_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&buf, "# HELP sketchengine_%s %s\n# TYPE sketchengine_%s gauge\nsketchengine_%s %s\n", name, help, name, name,
+			strconv.FormatFloat(v, 'g', -1, 64))
+	}
+
+	counter("requests_total", "HTTP requests accepted past the limiter.", m.requests.Load())
+	fmt.Fprintf(&buf, "# HELP sketchengine_responses_total HTTP responses by status class.\n# TYPE sketchengine_responses_total counter\n")
+	fmt.Fprintf(&buf, "sketchengine_responses_total{class=\"2xx\"} %d\n", m.status2xx.Load())
+	fmt.Fprintf(&buf, "sketchengine_responses_total{class=\"4xx\"} %d\n", m.status4xx.Load())
+	fmt.Fprintf(&buf, "sketchengine_responses_total{class=\"5xx\"} %d\n", m.status5xx.Load())
+	gauge("in_flight_requests", "Requests currently being served.", float64(m.inFlight.Load()))
+	counter("searches_total", "Search requests served.", m.searches.Load())
+	counter("deletes_total", "Records deleted over HTTP.", m.deletes.Load())
+	counter("rebuckets_total", "Successful live rebucket operations.", m.rebuckets.Load())
+	counter("ingest_requests_total", "Ingest requests received.", m.ingestRequests.Load())
+	counter("records_added_total", "Records added by ingest.", m.recordsAdded.Load())
+	counter("ingest_batches_total", "Coalesced AddBatch calls.", m.batches.Load())
+	counter("ingest_batched_records_total", "Records across coalesced batches.", m.batchedRecords.Load())
+	gauge("ingest_queue_depth", "Ingest requests currently queued.", float64(s.ingest.depth()))
+	gauge("ingest_queue_capacity", "Ingest queue capacity.", float64(s.cfg.QueueDepth))
+	counter("snapshots_total", "Snapshots written.", m.snapshots.Load())
+
+	gauge("records", "Live records in the index.", float64(st.Records))
+	gauge("dead_rows", "Tombstoned rows awaiting compaction.", float64(st.DeadRows))
+	gauge("tombstone_ratio", "Dead rows as a fraction of all rows.", st.TombstoneRatio)
+	counter("compactions_total", "Shard compactions run.", int64(st.Compactions))
+	counter("compacted_rows_total", "Dead rows reclaimed by compaction.", int64(st.CompactedRows))
+
+	if wal := st.WAL; wal != nil {
+		gauge("wal_frames", "Frames in the WALs since the last snapshot.", float64(wal.Frames))
+		gauge("wal_bytes", "Bytes in the WALs since the last snapshot.", float64(wal.Bytes))
+		counter("wal_appends_total", "Frames appended to the WALs.", int64(wal.Appends))
+		counter("wal_fsyncs_total", "WAL fsync batches.", int64(wal.Fsyncs))
+		fmt.Fprintf(&buf, "# HELP sketchengine_wal_fsync_seconds_total Time spent in WAL fsyncs.\n# TYPE sketchengine_wal_fsync_seconds_total counter\nsketchengine_wal_fsync_seconds_total %s\n",
+			strconv.FormatFloat(float64(wal.FsyncNanos)/1e9, 'g', -1, 64))
+		counter("wal_replayed_frames_total", "Frames replayed at the last open.", int64(wal.ReplayedFrames))
+		counter("wal_torn_bytes_total", "Torn-tail bytes truncated at the last open.", int64(wal.TornBytes))
+	}
+
+	names := m.histNames()
+	if len(names) > 0 {
+		fmt.Fprintf(&buf, "# HELP sketchengine_http_request_duration_seconds Request latency by endpoint.\n# TYPE sketchengine_http_request_duration_seconds histogram\n")
+	}
+	for _, name := range names {
+		h := m.latencies[name]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&buf, "sketchengine_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(&buf, "sketchengine_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&buf, "sketchengine_http_request_duration_seconds_sum{endpoint=%q} %s\n",
+			name, strconv.FormatFloat(float64(h.sumNanos.Load())/1e9, 'g', -1, 64))
+		fmt.Fprintf(&buf, "sketchengine_http_request_duration_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}

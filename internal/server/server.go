@@ -53,8 +53,9 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps request body size.
 	MaxBodyBytes int64
-	// QueueDepth is the ingest queue capacity in pending requests;
-	// enqueueing blocks (backpressure) when full.
+	// QueueDepth is the ingest queue capacity in pending requests; an
+	// ingest that finds it full is refused with 429 and a Retry-After
+	// header rather than parked.
 	QueueDepth int
 	// DrainTimeout bounds how long shutdown waits for in-flight
 	// requests before closing connections.
@@ -120,9 +121,15 @@ func New(eng *core.Engine, cfg Config) (*Server, error) {
 	}
 	if cfg.DataDir != "" {
 		if _, err := os.Stat(filepath.Join(cfg.DataDir, core.ManifestFile)); err != nil {
-			// No committed manifest yet: force the first snapshot so a
-			// freshly created tiered index materializes on disk.
-			s.forceSnap = true
+			// No committed manifest yet: commit one now, synchronously.
+			// The manifest rename is what attaches the per-shard WALs, and
+			// every mutation acknowledged from the first request onward
+			// must hit a WAL to survive a crash — so the index must be on
+			// disk before the listener is.
+			if err := eng.Index().SaveDir(); err != nil {
+				return nil, fmt.Errorf("server: initial snapshot of %s: %w", cfg.DataDir, err)
+			}
+			s.savedGen = eng.Index().Generation()
 		}
 	} else if cfg.IndexPath != "" {
 		if _, err := os.Stat(cfg.IndexPath); err != nil {

@@ -228,8 +228,8 @@ func TestErrorPaths(t *testing.T) {
 				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantCode, body)
 			}
 			var eb errorBody
-			if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error == "" {
-				t.Fatalf("error body %q is not {\"error\": ...}: %v", body, err)
+			if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error.Code == "" || eb.Error.Message == "" {
+				t.Fatalf("error body %q is not {\"error\":{\"code\",\"message\"}}: %v", body, err)
 			}
 		})
 	}
@@ -294,7 +294,7 @@ func TestSnapshotLifecycle(t *testing.T) {
 	if err != nil || !wrote {
 		t.Fatalf("dirty snapshot = %v, %v; want written", wrote, err)
 	}
-	ix, err := core.LoadIndexFile(path)
+	ix, err := core.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -487,7 +487,7 @@ func TestConcurrentLoad(t *testing.T) {
 	if err := stop(); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	ix, err := core.LoadIndexFile(path)
+	ix, err := core.Open(path)
 	if err != nil {
 		t.Fatalf("snapshot is not loadable: %v", err)
 	}
@@ -564,7 +564,7 @@ func TestShutdownMidLoad(t *testing.T) {
 	}
 	wg.Wait()
 
-	ix, err := core.LoadIndexFile(path)
+	ix, err := core.Open(path)
 	if err != nil {
 		t.Fatalf("post-shutdown snapshot is not loadable: %v", err)
 	}

@@ -76,9 +76,9 @@ func TestTieredSnapshotLifecycle(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, core.ManifestFile)); err != nil {
 		t.Fatalf("shutdown snapshot wrote no manifest: %v", err)
 	}
-	ix, err := core.LoadDir(dir)
+	ix, err := core.Open(dir)
 	if err != nil {
-		t.Fatalf("LoadDir after shutdown: %v", err)
+		t.Fatalf("Open after shutdown: %v", err)
 	}
 	defer ix.Close()
 	if ix.Len() != 4 || ix.Get("delta") == nil {
