@@ -85,6 +85,7 @@ Commands:
   dist     all-vs-all pairwise distances between input files
   search   top-K similarity search of query files against a saved index
   serve    long-lived HTTP server: batched ingest, search, stats, snapshots
+           (-coordinator scatter-gathers over -backends instead of serving an index)
   version  print the engine version
 
 Run "engine <command> -h" for per-command flags.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"net"
@@ -9,9 +10,11 @@ import (
 	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"sketchengine/internal/cluster"
 	"sketchengine/internal/core"
 	"sketchengine/internal/server"
 )
@@ -30,6 +33,16 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	pprofAddr := fs.String("pprof-addr", "",
 		"listen address for net/http/pprof (e.g. 127.0.0.1:6060; empty disables)")
+	coordinator := fs.Bool("coordinator", false,
+		"run as a cluster coordinator: serve no local index, scatter-gather over -backends")
+	backends := fs.String("backends", "",
+		"comma-separated backend addresses (host:port,...) for -coordinator mode")
+	replication := fs.Int("replication", cluster.DefaultReplication,
+		"backends holding each record in -coordinator mode (writes need a majority)")
+	fanoutTimeout := fs.Duration("fanout-timeout", cluster.DefaultFanoutTimeout,
+		"per-backend request timeout inside a coordinator fan-out")
+	healthEvery := fs.Duration("health-every", cluster.DefaultHealthInterval,
+		"coordinator backend health probe interval")
 	db := fs.String("d", "index.json", "index file: loaded if present, created otherwise, and the snapshot destination")
 	name := fs.String("name", "default", "index name (new indexes only)")
 	modeFlag := fs.String("mode", "lsh", "default search mode: lsh or exact (requests may override)")
@@ -44,6 +57,22 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %q (records are ingested over HTTP, not the command line)", fs.Args())
+	}
+	if *coordinator {
+		cfg := cluster.Config{
+			Addr:           *addr,
+			Replication:    *replication,
+			FanoutTimeout:  *fanoutTimeout,
+			HealthInterval: *healthEvery,
+			MaxInFlight:    *maxInFlight,
+			MaxBatch:       *maxBatch,
+			MaxBodyBytes:   *maxBody,
+			DrainTimeout:   *drain,
+		}
+		return serveCoordinator(fs, cfg, *backends, *pprofAddr, stdout, stderr)
+	}
+	if *backends != "" {
+		return fmt.Errorf("serve: -backends requires -coordinator")
 	}
 	mode, err := core.ParseSearchMode(*modeFlag)
 	if err != nil {
@@ -109,6 +138,65 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(serveBaseContext(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return srv.Serve(ctx)
+}
+
+// serveCoordinator is the -coordinator branch of cmdServe: it builds a
+// cluster.Coordinator over the parsed backend list instead of loading
+// an index, and mirrors the single-node serve lifecycle (serving line,
+// pprof side listener, signal-driven drain).
+func serveCoordinator(fs *flag.FlagSet, cfg cluster.Config, backends, pprofAddr string,
+	stdout, stderr io.Writer) error {
+	for _, part := range strings.Split(backends, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			cfg.Backends = append(cfg.Backends, part)
+		}
+	}
+	if len(cfg.Backends) == 0 {
+		return fmt.Errorf("serve: -coordinator requires -backends host1:port,host2:port,...")
+	}
+	if len(cfg.Backends) < cfg.Replication {
+		return fmt.Errorf("serve: -replication %d needs at least that many backends, got %d",
+			cfg.Replication, len(cfg.Backends))
+	}
+	// Index flags are meaningless without an index; catch the ones a
+	// single-node invocation would care about so a copy-pasted command
+	// line fails loudly instead of silently dropping its index.
+	ignored := map[string]bool{"d": true, "tiered": true, "data-dir": true, "snapshot-every": true,
+		"queue-depth": true, "mode": true, "name": true}
+	var bad []string
+	fs.Visit(func(f *flag.Flag) {
+		if ignored[f.Name] {
+			bad = append(bad, "-"+f.Name)
+		}
+	})
+	if len(bad) > 0 {
+		fmt.Fprintf(stderr, "engine: serve: warning: %s ignored in -coordinator mode (the coordinator owns no index)\n",
+			strings.Join(bad, ", "))
+	}
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(stderr, "engine: serve: "+format+"\n", args...)
+	}
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	if pprofAddr != "" {
+		stop, bound, err := servePprof(pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(stdout, "pprof\taddr=%s\n", bound)
+	}
+	bound, err := coord.Listen()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serving\taddr=%s\tcoordinator=true\tbackends=%d\treplication=%d\tquorum=%d\n",
+		bound, len(cfg.Backends), coord.Ring().Replication(), cfg.Replication/2+1)
+	ctx, stop := signal.NotifyContext(serveBaseContext(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return coord.Serve(ctx)
 }
 
 // servePprof mounts the net/http/pprof handlers on their own listener,

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"sketchengine/internal/server"
+)
+
+// backend is one configured backend: its address, the shared HTTP
+// client state, and the health checker's view of it.
+type backend struct {
+	addr string // host:port, as configured
+	base string // http://host:port
+
+	// up is the hysteresis-filtered health state. Backends start up
+	// (optimistically): a backend that is actually down costs one failed
+	// fan-out per request until the checker's consecutive-failure count
+	// trips, while a backend wrongly marked down would silently shed
+	// load.
+	up atomic.Bool
+
+	// consecFails / consecOKs drive the hysteresis; only the health
+	// checker goroutine writes them.
+	consecFails int
+	consecOKs   int
+
+	// Observed traffic, for /stats and the ring-occupancy metric.
+	routedRecords atomic.Int64 // records routed here by ingest
+	requests      atomic.Int64 // proxied requests sent
+	failures      atomic.Int64 // proxied requests that errored
+	transitions   atomic.Int64 // up<->down flips by the health checker
+
+	lastErr   atomic.Pointer[string] // last proxied-request or probe error
+	downSince atomic.Int64           // unix nanos; 0 while up
+}
+
+func newBackend(addr string) *backend {
+	b := &backend{addr: addr, base: "http://" + addr}
+	b.up.Store(true)
+	return b
+}
+
+func (b *backend) noteError(err error) {
+	msg := err.Error()
+	b.lastErr.Store(&msg)
+	b.failures.Add(1)
+}
+
+// BackendError is a non-2xx response from a backend, carrying the
+// envelope the backend sent so the coordinator can propagate its code.
+type BackendError struct {
+	Addr   string
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *BackendError) Error() string {
+	return fmt.Sprintf("backend %s: %d %s: %s", e.Addr, e.Status, e.Code, e.Msg)
+}
+
+// client wraps the one shared http.Client all fan-outs use. Idle
+// connections are pooled per backend so steady-state scatter-gather
+// reuses warm connections instead of paying a dial per probe.
+type client struct {
+	hc *http.Client
+}
+
+func newClient(backends int) *client {
+	return &client{hc: &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * backends,
+			MaxIdleConnsPerHost: 4,
+		},
+	}}
+}
+
+// bodyBufPool recycles request-encode buffers across fan-outs.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// do sends one request to b and decodes the JSON response into out
+// (skipped when out is nil). body, when non-nil, is JSON-encoded as
+// the request body. Non-2xx responses decode the error envelope into a
+// *BackendError. The caller bounds the call with ctx.
+func (c *client) do(ctx context.Context, b *backend, method, path string, body, out any) error {
+	b.requests.Add(1)
+	var rd io.Reader
+	var buf *bytes.Buffer
+	if body != nil {
+		buf = bodyBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		defer bodyBufPool.Put(buf)
+		if err := json.NewEncoder(buf).Encode(body); err != nil {
+			return fmt.Errorf("backend %s: encode request: %w", b.addr, err)
+		}
+		rd = buf
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("backend %s: %w", b.addr, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+		req.ContentLength = int64(buf.Len())
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		b.noteError(err)
+		return fmt.Errorf("backend %s: %w", b.addr, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope struct {
+			Error server.ErrorDetail `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope)
+		berr := &BackendError{Addr: b.addr, Status: resp.StatusCode, Code: envelope.Error.Code, Msg: envelope.Error.Message}
+		if berr.Code == "" {
+			berr.Code = server.CodeForStatus(resp.StatusCode)
+		}
+		if resp.StatusCode >= 500 {
+			b.noteError(berr)
+		}
+		return berr
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			b.noteError(err)
+			return fmt.Errorf("backend %s: decode response: %w", b.addr, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sketchengine/internal/server"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultReplication    = 2
+	DefaultFanoutTimeout  = 5 * time.Second
+	DefaultHealthInterval = time.Second
+	DefaultDownAfter      = 3
+	DefaultUpAfter        = 2
+)
+
+// Config configures a Coordinator. Zero values fall back to the
+// defaults above (and to internal/server's request-plumbing defaults).
+type Config struct {
+	// Addr is the listen address; port 0 picks a free port.
+	Addr string
+	// Backends are the single-node backend addresses (host:port). At
+	// least Replication backends are required.
+	Backends []string
+	// Replication is how many backends hold each record. Writes need a
+	// majority of replicas (Replication/2+1) to acknowledge; reads
+	// stay complete as long as fewer than Replication backends are
+	// unreachable.
+	Replication int
+	// FanoutTimeout bounds each per-backend request inside a fan-out,
+	// so one stuck backend delays a scatter-gather by at most this.
+	FanoutTimeout time.Duration
+	// HealthInterval is the /healthz probe period. Negative disables
+	// the checker (tests drive health by hand).
+	HealthInterval time.Duration
+	// DownAfter / UpAfter are the hysteresis widths: consecutive probe
+	// failures before a backend is marked down, consecutive successes
+	// before it is marked up again.
+	DownAfter int
+	UpAfter   int
+	// MaxInFlight bounds concurrently served coordinator requests.
+	MaxInFlight int
+	// MaxBatch caps records per ingest request, mirroring the backends'
+	// limit so the coordinator rejects oversized batches itself.
+	MaxBatch int
+	// MaxBodyBytes caps request body size.
+	MaxBodyBytes int64
+	// DrainTimeout bounds how long shutdown waits for in-flight
+	// requests.
+	DrainTimeout time.Duration
+	// Logf, when set, receives one-line operational events. nil means
+	// silent.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator serves the /v1 API by fanning out to backends. Build one
+// with New, then Listen and Serve, mirroring server.Server's
+// lifecycle.
+type Coordinator struct {
+	cfg      Config
+	ring     *Ring
+	backends []*backend // same order as ring.Backends()
+	byAddr   map[string]*backend
+	client   *client
+	metrics  *clusterMetrics
+	handler  http.Handler
+
+	lis net.Listener
+}
+
+// New validates cfg and builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Replication == 0 {
+		cfg.Replication = DefaultReplication
+	}
+	if cfg.FanoutTimeout <= 0 {
+		cfg.FanoutTimeout = DefaultFanoutTimeout
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = DefaultHealthInterval
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = DefaultDownAfter
+	}
+	if cfg.UpAfter <= 0 {
+		cfg.UpAfter = DefaultUpAfter
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = server.DefaultMaxInFlight
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = server.DefaultMaxBatch
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = server.DefaultMaxBodyBytes
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = server.DefaultDrainTimeout
+	}
+	ring, err := NewRing(cfg.Backends, cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		ring:    ring,
+		client:  newClient(len(ring.Backends())),
+		metrics: newClusterMetrics(),
+		byAddr:  make(map[string]*backend, len(ring.Backends())),
+	}
+	for _, addr := range ring.Backends() {
+		b := newBackend(addr)
+		c.backends = append(c.backends, b)
+		c.byAddr[addr] = b
+	}
+	c.handler = c.limit(c.count(server.JSONErrors(c.routes())))
+	return c, nil
+}
+
+// Ring returns the coordinator's placement ring, so tests and tools
+// can compute replica sets the way the coordinator does.
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Handler returns the coordinator's HTTP handler (routes behind the
+// envelope, counting, and concurrency-limit middleware), for tests and
+// embedding.
+func (c *Coordinator) Handler() http.Handler { return c.handler }
+
+// quorum is the write quorum: a majority of the replica set.
+func (c *Coordinator) quorum() int { return c.cfg.Replication/2 + 1 }
+
+// Listen binds cfg.Addr and returns the bound address. It must be
+// called once, before Serve.
+func (c *Coordinator) Listen() (net.Addr, error) {
+	lis, err := net.Listen("tcp", c.cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", c.cfg.Addr, err)
+	}
+	c.lis = lis
+	return lis.Addr(), nil
+}
+
+// Serve serves on the listener bound by Listen until ctx is canceled,
+// then drains in-flight requests for up to DrainTimeout. The health
+// checker runs for exactly the lifetime of the serve loop.
+func (c *Coordinator) Serve(ctx context.Context) error {
+	if c.lis == nil {
+		return errors.New("cluster: Serve called before Listen")
+	}
+	hctx, stopHealth := context.WithCancel(context.Background())
+	defer stopHealth()
+	if c.cfg.HealthInterval > 0 {
+		go c.healthLoop(hctx)
+	}
+	hs := &http.Server{
+		Handler:           c.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(c.lis) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		c.logf("shutdown requested, draining (timeout %s)", c.cfg.DrainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), c.cfg.DrainTimeout)
+		err := hs.Shutdown(drainCtx)
+		cancel()
+		<-errc // always http.ErrServerClosed after Shutdown
+		c.logf("drained")
+		return err
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// clusterMetrics are the coordinator's counters: one set for the
+// API surface it serves, one set for the fan-out behavior behind it.
+// All lock-free on the hot path, like the server's.
+type clusterMetrics struct {
+	start time.Time
+
+	requests       atomic.Int64
+	searches       atomic.Int64
+	ingestRequests atomic.Int64
+	recordsRouted  atomic.Int64 // record-replica assignments routed by ingest
+	deletes        atomic.Int64
+
+	retries        atomic.Int64 // backend calls retried after a failed first wave
+	partials       atomic.Int64 // search responses degraded to partial
+	quorumFailures atomic.Int64 // records that missed their write quorum
+
+	// histMu guards registration only; every endpoint registers once at
+	// startup.
+	histMu    sync.Mutex
+	latencies map[string]*server.Histogram // whole-fan-out latency per endpoint
+}
+
+func newClusterMetrics() *clusterMetrics {
+	return &clusterMetrics{start: time.Now(), latencies: make(map[string]*server.Histogram)}
+}
+
+func (m *clusterMetrics) hist(name string) *server.Histogram {
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	h, ok := m.latencies[name]
+	if !ok {
+		h = server.NewHistogram()
+		m.latencies[name] = h
+	}
+	return h
+}
+
+// limit is the same concurrency-limit shape the backends use: excess
+// requests wait on the semaphore, a client that gives up gets 503.
+func (c *Coordinator) limit(next http.Handler) http.Handler {
+	sem := make(chan struct{}, c.cfg.MaxInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		case <-r.Context().Done():
+			server.WriteError(w, http.StatusServiceUnavailable, server.CodeOverloaded, "coordinator overloaded")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// count tallies accepted requests.
+func (c *Coordinator) count(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.metrics.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timed wraps one endpoint's handler with its fan-out latency
+// histogram.
+func (c *Coordinator) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := c.metrics.hist(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start))
+	}
+}

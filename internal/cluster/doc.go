@@ -1,0 +1,24 @@
+// Package cluster scales the engine's HTTP API across processes: a
+// coordinator speaks the same /v1 protocol as internal/server but owns
+// no index, routing every request to a fleet of ordinary single-node
+// backends.
+//
+// Placement is a rendezvous-hash ring (Ring): each record name maps to
+// a replication-factor-sized set of backends, so capacity grows by
+// adding backends and availability by raising replication. Writes fan
+// each coalesced batch to all replicas of each record and acknowledge
+// only on a write quorum (majority of replicas); records that miss
+// quorum are reported individually in the error envelope, never
+// silently dropped. Searches scatter to every live backend, merge the
+// per-backend bounded top-K heaps with core.MergeTopK — the same total
+// order the in-process per-shard merge uses, so a coordinator's answer
+// is byte-identical to a single node holding the same corpus — and
+// dedup replicated hits by name keeping the best score.
+//
+// A health checker probes each backend's /healthz with
+// consecutive-failure hysteresis so one dropped probe never flaps the
+// ring. The search path retries failed backends once before degrading:
+// a response is flagged "partial": true only when the non-responders
+// could cover a whole replica set, i.e. when completeness can no
+// longer be guaranteed.
+package cluster

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"sketchengine/internal/core"
+	"sketchengine/internal/server"
+)
+
+// searchCall is one backend's slot in a scatter-gather: filled by the
+// first wave or the retry wave, whichever reaches the backend.
+type searchCall struct {
+	b    *backend
+	resp server.SearchResponse
+	ok   bool
+	err  error
+}
+
+// handleSearch scatter-gathers a search. Every backend holds a shard
+// of the corpus, so the query goes to all of them (the ring is not
+// consulted: it maps names, and a search has no name). The per-backend
+// top-Ks are concatenated, deduped by ref (replication means up to
+// Replication copies of every hit), and reduced with core.MergeTopK —
+// the same bounded-heap merge and total order the in-process per-shard
+// scan uses, which is what makes a coordinator's answer byte-identical
+// to a single node over the same corpus.
+//
+// Fault handling is two-staged. Backends marked down are skipped in
+// the first wave but, together with backends that failed it, get one
+// retry: the probe view lags reality, and a replica's partner having
+// answered does not excuse losing the records they do not share. Only
+// when the final non-responder count reaches the replication factor
+// could a whole replica set be unrepresented — then, and only then,
+// the response degrades to "partial": true. Anything less and every
+// record still has at least one responding replica, so the result is
+// provably complete and is returned unflagged.
+func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req server.SearchRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Mode != "" {
+		// Fail a bad mode here: fanning it out would return backend 400s
+		// dressed up as a cluster fault.
+		if _, err := core.ParseSearchMode(req.Mode); err != nil {
+			server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, err.Error())
+			return
+		}
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 0 {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest,
+			fmt.Sprintf("search: k must be positive, got %d", k))
+		return
+	}
+	c.metrics.searches.Add(1)
+
+	calls := make([]*searchCall, len(c.backends))
+	var firstWave []*searchCall
+	for i, b := range c.backends {
+		calls[i] = &searchCall{b: b}
+		if b.up.Load() {
+			firstWave = append(firstWave, calls[i])
+		}
+	}
+	c.scatterSearch(r.Context(), firstWave, &req)
+
+	var retryWave []*searchCall
+	for _, call := range calls {
+		if !call.ok {
+			retryWave = append(retryWave, call)
+		}
+	}
+	if len(retryWave) > 0 && len(retryWave) < len(calls) {
+		// Retry failed and down-skipped backends once before giving up on
+		// them; a whole-cluster outage skips straight to the error below.
+		c.metrics.retries.Add(int64(len(retryWave)))
+		c.scatterSearch(r.Context(), retryWave, &req)
+	}
+
+	responded := 0
+	for _, call := range calls {
+		if call.ok {
+			responded++
+		}
+	}
+	if responded == 0 {
+		server.WriteError(w, http.StatusBadGateway, CodeBackendDown, "search: no backend responded")
+		return
+	}
+	partial := len(calls)-responded >= c.cfg.Replication
+	if partial {
+		c.metrics.partials.Add(1)
+	}
+
+	// Concatenate, dedup by ref keeping the best-scored copy, merge.
+	// Replicated copies of a hit are byte-equal, so "best" only matters
+	// if replicas diverged mid-write; keeping the max keeps the answer
+	// monotone with the most complete replica.
+	var pooled []core.Result
+	seen := make(map[string]int)
+	mode := ""
+	for _, call := range calls {
+		if !call.ok {
+			continue
+		}
+		if mode == "" {
+			mode = call.resp.Mode
+		}
+		for _, hit := range call.resp.Results {
+			if j, dup := seen[hit.Ref]; dup {
+				if hit.Similarity > pooled[j].Similarity {
+					pooled[j].Similarity = hit.Similarity
+					pooled[j].Distance = hit.Distance
+				}
+				continue
+			}
+			seen[hit.Ref] = len(pooled)
+			pooled = append(pooled, core.Result{
+				Query:      req.Name,
+				Ref:        hit.Ref,
+				Similarity: hit.Similarity,
+				Distance:   hit.Distance,
+			})
+		}
+	}
+	merged := core.MergeTopK(pooled, k)
+	// Zero-hit responses must encode as "results":[], matching the
+	// single-node server (nil would marshal as null).
+	hits := make([]server.SearchHit, 0, len(merged))
+	for i, res := range merged {
+		hits = append(hits, server.SearchHit{Rank: i + 1, Ref: res.Ref, Similarity: res.Similarity, Distance: res.Distance})
+	}
+	server.WriteJSON(w, http.StatusOK, server.SearchResponse{
+		Query:   req.Name,
+		Mode:    mode,
+		Results: hits,
+		Partial: partial,
+	})
+}
+
+// scatterSearch sends req to every call's backend concurrently, each
+// bounded by the fan-out timeout, and records the outcome in place.
+func (c *Coordinator) scatterSearch(ctx context.Context, wave []*searchCall, req *server.SearchRequest) {
+	var wg sync.WaitGroup
+	for _, call := range wave {
+		wg.Add(1)
+		go func(call *searchCall) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, c.cfg.FanoutTimeout)
+			defer cancel()
+			call.resp = server.SearchResponse{}
+			call.err = c.client.do(cctx, call.b, "POST", "/v1/search", req, &call.resp)
+			call.ok = call.err == nil
+		}(call)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"sketchengine/internal/server"
+)
+
+func (c *Coordinator) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/records", c.timed("ingest", c.handleIngest))
+	mux.HandleFunc("POST /v1/search", c.timed("search", c.handleSearch))
+	mux.HandleFunc("GET /v1/records/{name}", c.timed("get_record", c.handleGetRecord))
+	mux.HandleFunc("DELETE /v1/records/{name}", c.timed("delete_record", c.handleDeleteRecord))
+	mux.HandleFunc("GET /healthz", c.timed("healthz", c.handleHealthz))
+	mux.HandleFunc("GET /stats", c.timed("stats", c.handleStats))
+	mux.HandleFunc("GET /metrics", c.timed("metrics", c.handleMetrics))
+	return mux
+}
+
+// HealthResponse is the coordinator's GET /healthz body. Status is
+// "ok" while every backend is up and "degraded" otherwise; the
+// coordinator itself answering is what makes either healthy.
+type HealthResponse struct {
+	Status      string `json:"status"`
+	Backends    int    `json:"backends"`
+	BackendsUp  int    `json:"backends_up"`
+	Replication int    `json:"replication"`
+}
+
+// BackendStats is one backend's row in the coordinator's /stats.
+type BackendStats struct {
+	Addr          string  `json:"addr"`
+	Up            bool    `json:"up"`
+	Requests      int64   `json:"requests"`
+	Failures      int64   `json:"failures"`
+	RoutedRecords int64   `json:"routed_records"`
+	Transitions   int64   `json:"transitions"`
+	DownSeconds   float64 `json:"down_seconds,omitempty"`
+	LastError     string  `json:"last_error,omitempty"`
+}
+
+// StatsResponse is the coordinator's GET /stats body.
+type StatsResponse struct {
+	UptimeSeconds  float64        `json:"uptime_seconds"`
+	Replication    int            `json:"replication"`
+	WriteQuorum    int            `json:"write_quorum"`
+	Requests       int64          `json:"requests"`
+	Searches       int64          `json:"searches"`
+	IngestRequests int64          `json:"ingest_requests"`
+	RecordsRouted  int64          `json:"records_routed"`
+	Deletes        int64          `json:"deletes"`
+	Retries        int64          `json:"retries"`
+	PartialResults int64          `json:"partial_results"`
+	QuorumFailures int64          `json:"quorum_failures"`
+	Backends       []BackendStats `json:"backends"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	up := 0
+	for _, b := range c.backends {
+		if b.up.Load() {
+			up++
+		}
+	}
+	status := "ok"
+	if up < len(c.backends) {
+		status = "degraded"
+	}
+	server.WriteJSON(w, http.StatusOK, HealthResponse{
+		Status:      status,
+		Backends:    len(c.backends),
+		BackendsUp:  up,
+		Replication: c.cfg.Replication,
+	})
+}
+
+func (c *Coordinator) backendStats() []BackendStats {
+	out := make([]BackendStats, 0, len(c.backends))
+	for _, b := range c.backends {
+		bs := BackendStats{
+			Addr:          b.addr,
+			Up:            b.up.Load(),
+			Requests:      b.requests.Load(),
+			Failures:      b.failures.Load(),
+			RoutedRecords: b.routedRecords.Load(),
+			Transitions:   b.transitions.Load(),
+		}
+		if since := b.downSince.Load(); since != 0 {
+			bs.DownSeconds = time.Since(time.Unix(0, since)).Seconds()
+		}
+		if msg := b.lastErr.Load(); msg != nil {
+			bs.LastError = *msg
+		}
+		out = append(out, bs)
+	}
+	return out
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := c.metrics
+	server.WriteJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds:  time.Since(m.start).Seconds(),
+		Replication:    c.cfg.Replication,
+		WriteQuorum:    c.quorum(),
+		Requests:       m.requests.Load(),
+		Searches:       m.searches.Load(),
+		IngestRequests: m.ingestRequests.Load(),
+		RecordsRouted:  m.recordsRouted.Load(),
+		Deletes:        m.deletes.Load(),
+		Retries:        m.retries.Load(),
+		PartialResults: m.partials.Load(),
+		QuorumFailures: m.quorumFailures.Load(),
+		Backends:       c.backendStats(),
+	})
+}
+
+// handleMetrics renders the coordinator's counters in the Prometheus
+// text format, namespaced under sketchengine_cluster_. Per-backend
+// series carry a backend label; the routed-records gauge doubles as
+// the observed ring occupancy.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := c.metrics
+	var buf bytes.Buffer
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&buf, "# HELP sketchengine_cluster_%s %s\n# TYPE sketchengine_cluster_%s counter\nsketchengine_cluster_%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("requests_total", "Requests accepted by the coordinator.", m.requests.Load())
+	counter("searches_total", "Search fan-outs served.", m.searches.Load())
+	counter("ingest_requests_total", "Ingest requests received.", m.ingestRequests.Load())
+	counter("records_routed_total", "Record-replica assignments routed by ingest.", m.recordsRouted.Load())
+	counter("deletes_total", "Deletes routed to replica sets.", m.deletes.Load())
+	counter("retries_total", "Backend calls retried after a failed first wave.", m.retries.Load())
+	counter("partial_results_total", "Search responses degraded to partial.", m.partials.Load())
+	counter("quorum_failures_total", "Records that missed their write quorum.", m.quorumFailures.Load())
+
+	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_backend_up Backend health as seen by the checker (1 up, 0 down).\n# TYPE sketchengine_cluster_backend_up gauge\n")
+	for _, b := range c.backends {
+		up := 0
+		if b.up.Load() {
+			up = 1
+		}
+		fmt.Fprintf(&buf, "sketchengine_cluster_backend_up{backend=%q} %d\n", b.addr, up)
+	}
+	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_backend_requests_total Requests proxied to each backend.\n# TYPE sketchengine_cluster_backend_requests_total counter\n")
+	for _, b := range c.backends {
+		fmt.Fprintf(&buf, "sketchengine_cluster_backend_requests_total{backend=%q} %d\n", b.addr, b.requests.Load())
+	}
+	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_backend_failures_total Proxied requests that failed, per backend.\n# TYPE sketchengine_cluster_backend_failures_total counter\n")
+	for _, b := range c.backends {
+		fmt.Fprintf(&buf, "sketchengine_cluster_backend_failures_total{backend=%q} %d\n", b.addr, b.failures.Load())
+	}
+	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_ring_records Record-replica assignments per backend: the observed ring occupancy.\n# TYPE sketchengine_cluster_ring_records counter\n")
+	for _, b := range c.backends {
+		fmt.Fprintf(&buf, "sketchengine_cluster_ring_records{backend=%q} %d\n", b.addr, b.routedRecords.Load())
+	}
+
+	names := make([]string, 0, len(m.latencies))
+	m.histMu.Lock()
+	for name := range m.latencies {
+		names = append(names, name)
+	}
+	m.histMu.Unlock()
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(&buf, "# HELP sketchengine_cluster_fanout_duration_seconds Whole-fan-out latency by endpoint.\n# TYPE sketchengine_cluster_fanout_duration_seconds histogram\n")
+	}
+	for _, name := range names {
+		server.WritePromHistogram(&buf, "sketchengine_cluster_fanout_duration_seconds",
+			fmt.Sprintf("endpoint=%q", name), m.hist(name))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}

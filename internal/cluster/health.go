@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// healthLoop probes every backend's /healthz each interval until ctx
+// is canceled. Probes run sequentially — the fleet is small and a
+// sequential sweep keeps the checker to one goroutine — with each
+// probe bounded by the fan-out timeout.
+func (c *Coordinator) healthLoop(ctx context.Context) {
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			for _, b := range c.backends {
+				c.probe(ctx, b)
+			}
+		}
+	}
+}
+
+func (c *Coordinator) probe(ctx context.Context, b *backend) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.FanoutTimeout)
+	err := c.client.do(pctx, b, "GET", "/healthz", nil, nil)
+	cancel()
+	c.observeProbe(b, err == nil)
+	if err != nil {
+		msg := err.Error()
+		b.lastErr.Store(&msg)
+	}
+}
+
+// observeProbe feeds one probe outcome into b's hysteresis: a backend
+// is marked down only after DownAfter consecutive failures and back up
+// only after UpAfter consecutive successes, so a single dropped probe
+// (GC pause, stolen CPU) never flaps the ring. Only the health loop
+// calls this, so the consecutive counters need no synchronization; the
+// up flag itself is atomic because every request path reads it.
+func (c *Coordinator) observeProbe(b *backend, ok bool) {
+	if ok {
+		b.consecFails = 0
+		b.consecOKs++
+		if !b.up.Load() && b.consecOKs >= c.cfg.UpAfter {
+			b.up.Store(true)
+			b.downSince.Store(0)
+			b.transitions.Add(1)
+			c.logf("backend %s is up", b.addr)
+		}
+		return
+	}
+	b.consecOKs = 0
+	b.consecFails++
+	if b.up.Load() && b.consecFails >= c.cfg.DownAfter {
+		b.up.Store(false)
+		b.downSince.Store(time.Now().UnixNano())
+		b.transitions.Add(1)
+		c.logf("backend %s is down after %d consecutive probe failures", b.addr, b.consecFails)
+	}
+}

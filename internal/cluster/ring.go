@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring places record names onto backends by rendezvous (highest-
+// random-weight) hashing: every (backend, name) pair gets a hash score
+// and the name's replica set is the replication highest-scoring
+// backends. Unlike a bucketed consistent-hash ring there are no
+// virtual nodes to tune and no bucket boundaries: removing a backend
+// remaps only the names that had it in their replica set, and the load
+// split is as even as the hash.
+//
+// A Ring is immutable after New; placement depends only on the backend
+// address list (order-insensitively) and the name, so every
+// coordinator configured with the same backends routes identically.
+type Ring struct {
+	backends    []string
+	replication int
+}
+
+// NewRing builds a ring over the given backend addresses. Addresses
+// must be unique and non-empty; replication must be between 1 and the
+// number of backends. The slice is copied and sorted, so placement is
+// independent of argument order.
+func NewRing(backends []string, replication int) (*Ring, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one backend")
+	}
+	if replication < 1 || replication > len(backends) {
+		return nil, fmt.Errorf("cluster: replication %d out of range [1, %d backends]", replication, len(backends))
+	}
+	sorted := make([]string, len(backends))
+	copy(sorted, backends)
+	sort.Strings(sorted)
+	for i, b := range sorted {
+		if b == "" {
+			return nil, fmt.Errorf("cluster: empty backend address")
+		}
+		if i > 0 && sorted[i-1] == b {
+			return nil, fmt.Errorf("cluster: duplicate backend address %q", b)
+		}
+	}
+	return &Ring{backends: sorted, replication: replication}, nil
+}
+
+// Backends returns the ring's backend addresses, sorted. The slice is
+// shared; treat it as read-only.
+func (r *Ring) Backends() []string { return r.backends }
+
+// Replication returns the ring's replication factor.
+func (r *Ring) Replication() int { return r.replication }
+
+// Replicas returns name's replica set: the replication backends with
+// the highest rendezvous scores for name, best first. The result is
+// deterministic (score ties — astronomically unlikely with a 64-bit
+// hash — break by address order).
+func (r *Ring) Replicas(name string) []string {
+	return r.ReplicasAppend(nil, name)
+}
+
+// ReplicasAppend appends name's replica set to dst and returns it,
+// letting hot paths reuse one buffer across records.
+func (r *Ring) ReplicasAppend(dst []string, name string) []string {
+	// Selection sort over the top R of B scores: R and B are both small
+	// (single digits to low tens), so O(B*R) with zero allocation beats
+	// sorting a scored copy.
+	base := len(dst)
+	var taken [64]bool
+	var takenBig []bool
+	if len(r.backends) > len(taken) {
+		takenBig = make([]bool, len(r.backends))
+	}
+	isTaken := func(i int) bool {
+		if takenBig != nil {
+			return takenBig[i]
+		}
+		return taken[i]
+	}
+	take := func(i int) {
+		if takenBig != nil {
+			takenBig[i] = true
+		} else {
+			taken[i] = true
+		}
+	}
+	h := fnv1aString(fnvOffset, name)
+	for n := 0; n < r.replication; n++ {
+		best, bestScore := -1, uint64(0)
+		for i, b := range r.backends {
+			if isTaken(i) {
+				continue
+			}
+			score := mix64(fnv1aString(h, b))
+			if best == -1 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		take(best)
+		dst = append(dst, r.backends[best])
+	}
+	return dst[:base+r.replication]
+}
+
+// Primary returns the first backend in name's replica set.
+func (r *Ring) Primary(name string) string {
+	var buf [8]string
+	return r.ReplicasAppend(buf[:0], name)[0]
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv1aString folds s into a running FNV-1a hash. Feeding the name
+// first and each backend address second gives every pair a distinct
+// stream without concatenating strings.
+func fnv1aString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// mix64 is the SplitMix64 finalizer; FNV-1a alone avalanches weakly in
+// the high bits, and rendezvous selection compares whole words.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 1); err == nil {
+		t.Error("empty backend list accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "a:1"}, 1); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 1); err == nil {
+		t.Error("empty backend address accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "b:1"}, 3); err == nil {
+		t.Error("replication > backends accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "b:1"}, 0); err == nil {
+		t.Error("replication 0 accepted")
+	}
+}
+
+// TestRingDeterminism: placement must depend only on the backend set,
+// not on configuration order — every coordinator over the same fleet
+// must route identically.
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing([]string{"h1:1", "h2:1", "h3:1", "h4:1"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"h3:1", "h1:1", "h4:1", "h2:1"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("record-%d", i)
+		ra, rb := a.Replicas(name), b.Replicas(name)
+		if len(ra) != 2 || len(rb) != 2 {
+			t.Fatalf("replica set size = %d/%d, want 2", len(ra), len(rb))
+		}
+		if ra[0] != rb[0] || ra[1] != rb[1] {
+			t.Fatalf("rings disagree on %q: %v vs %v", name, ra, rb)
+		}
+		if ra[0] == ra[1] {
+			t.Fatalf("replica set for %q repeats a backend: %v", name, ra)
+		}
+	}
+}
+
+// TestRingBalance: rendezvous hashing should spread primaries within a
+// small factor of even across a modest fleet.
+func TestRingBalance(t *testing.T) {
+	backends := []string{"h1:1", "h2:1", "h3:1", "h4:1", "h5:1"}
+	r, err := NewRing(backends, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const names = 10000
+	for i := 0; i < names; i++ {
+		counts[r.Primary(fmt.Sprintf("some/path/record-%d.txt", i))]++
+	}
+	mean := names / len(backends)
+	for _, b := range backends {
+		if c := counts[b]; c < mean/2 || c > mean*2 {
+			t.Errorf("backend %s owns %d primaries, want within [%d, %d] of mean %d",
+				b, c, mean/2, mean*2, mean)
+		}
+	}
+}
+
+// TestRingRemovalStability: removing one backend must not remap names
+// whose replica set never contained it — the minimal-disruption
+// property that justifies rendezvous over modulo placement.
+func TestRingRemovalStability(t *testing.T) {
+	full := []string{"h1:1", "h2:1", "h3:1", "h4:1", "h5:1"}
+	without := []string{"h1:1", "h2:1", "h3:1", "h4:1"} // h5 removed
+	a, err := NewRing(full, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(without, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i := 0; i < 2000; i++ {
+		name := fmt.Sprintf("record-%d", i)
+		ra := a.Replicas(name)
+		if ra[0] == "h5:1" || ra[1] == "h5:1" {
+			continue
+		}
+		checked++
+		rb := b.Replicas(name)
+		if ra[0] != rb[0] || ra[1] != rb[1] {
+			t.Fatalf("removing an uninvolved backend remapped %q: %v -> %v", name, ra, rb)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no names avoided the removed backend; balance is broken")
+	}
+}

@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"sketchengine/internal/server"
+)
+
+// Error codes the coordinator adds to the envelope vocabulary.
+const (
+	// CodeBackendDown: no backend could serve the request at all.
+	CodeBackendDown = "backend_down"
+	// CodeQuorumFailed: a write reached fewer than quorum replicas for
+	// at least one record; the envelope's Records list names them.
+	CodeQuorumFailed = "quorum_failed"
+)
+
+// handleIngest fans one ingest batch out by replica set: each backend
+// receives a single sub-batch holding every record it replicates, so a
+// request costs at most one POST per backend no matter how the ring
+// scatters the records. A record is acknowledged only when a write
+// quorum (majority) of its replicas acked its sub-batch; records below
+// quorum are reported individually in a quorum_failed envelope. Acked
+// records are durable on every replica that succeeded — a quorum
+// failure never rolls anything back.
+func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
+	c.metrics.ingestRequests.Add(1)
+	var req server.IngestRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Records) == 0 {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, "ingest: no records in request")
+		return
+	}
+	if len(req.Records) > c.cfg.MaxBatch {
+		server.WriteError(w, http.StatusRequestEntityTooLarge, server.CodePayloadTooLarge,
+			fmt.Sprintf("ingest: batch of %d records exceeds the %d-record limit", len(req.Records), c.cfg.MaxBatch))
+		return
+	}
+	for i, rec := range req.Records {
+		if rec.Name == "" {
+			server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest,
+				fmt.Sprintf("ingest: record %d has an empty name", i))
+			return
+		}
+	}
+
+	// Group records into one sub-batch per backend. Writes go to every
+	// replica regardless of health state: the probe view may lag, and a
+	// down replica simply counts as a failed ack.
+	type subBatch struct {
+		b    *backend
+		pos  map[int]int // request record index -> index in req.Records slice
+		req  server.IngestRequest
+		resp server.IngestResponse
+		err  error
+	}
+	batches := make(map[string]*subBatch)
+	replicas := make([][]string, len(req.Records))
+	var scratch []string
+	for i, rec := range req.Records {
+		scratch = c.ring.ReplicasAppend(scratch[:0], rec.Name)
+		replicas[i] = append([]string(nil), scratch...)
+		for _, addr := range scratch {
+			sb, ok := batches[addr]
+			if !ok {
+				sb = &subBatch{b: c.byAddr[addr], pos: make(map[int]int)}
+				sb.req.Detailed = true
+				batches[addr] = sb
+			}
+			sb.pos[i] = len(sb.req.Records)
+			sb.req.Records = append(sb.req.Records, rec)
+		}
+		c.metrics.recordsRouted.Add(int64(len(scratch)))
+	}
+
+	var wg sync.WaitGroup
+	for _, sb := range batches {
+		sb.b.routedRecords.Add(int64(len(sb.req.Records)))
+		wg.Add(1)
+		go func(sb *subBatch) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), c.cfg.FanoutTimeout)
+			defer cancel()
+			sb.err = c.client.do(ctx, sb.b, "POST", "/v1/records", &sb.req, &sb.resp)
+			if sb.err == nil && len(sb.resp.Results) != len(sb.req.Records) {
+				sb.err = fmt.Errorf("backend %s: ingest response lists %d results for %d records",
+					sb.b.addr, len(sb.resp.Results), len(sb.req.Records))
+			}
+		}(sb)
+	}
+	wg.Wait()
+
+	quorum := c.quorum()
+	resp := server.IngestResponse{Received: len(req.Records)}
+	var failures []server.RecordError
+	for i, rec := range req.Records {
+		acks, added := 0, false
+		var replicaErrs []string
+		for _, addr := range replicas[i] {
+			sb := batches[addr]
+			if sb.err != nil {
+				replicaErrs = append(replicaErrs, sb.err.Error())
+				continue
+			}
+			acks++
+			if sb.resp.Results[sb.pos[i]] {
+				added = true
+			}
+		}
+		if acks < quorum {
+			failures = append(failures, server.RecordError{
+				Name: rec.Name,
+				Code: CodeBackendDown,
+				Message: fmt.Sprintf("%d/%d replicas acked (need %d): %s",
+					acks, len(replicas[i]), quorum, strings.Join(replicaErrs, "; ")),
+			})
+			continue
+		}
+		// A record counts as added if any acking replica had not seen the
+		// name before; replicas disagree only after a past partial write,
+		// and "added somewhere" is the honest summary then.
+		if added {
+			resp.Added++
+		} else {
+			resp.Skipped++
+		}
+	}
+	if len(failures) > 0 {
+		c.metrics.quorumFailures.Add(int64(len(failures)))
+		server.WriteErrorDetail(w, http.StatusBadGateway, server.ErrorDetail{
+			Code: CodeQuorumFailed,
+			Message: fmt.Sprintf("%d of %d records missed their write quorum; records not listed were acked and are durable on their replicas",
+				len(failures), len(req.Records)),
+			Records: failures,
+		})
+		return
+	}
+	if req.Detailed {
+		// Mirror the single-node contract for detailed callers: one flag
+		// per request record. Recompute from the replica responses.
+		resp.Results = make([]bool, len(req.Records))
+		for i := range req.Records {
+			for _, addr := range replicas[i] {
+				sb := batches[addr]
+				if sb.err == nil && sb.resp.Results[sb.pos[i]] {
+					resp.Results[i] = true
+					break
+				}
+			}
+		}
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleDeleteRecord routes a delete to the record's replica set. The
+// outcome follows the same quorum rule as ingest: with a majority of
+// replicas responding, at least one 200 means deleted and unanimous
+// 404s mean the record was never indexed; below quorum the truth is
+// unknowable and the client gets quorum_failed.
+func (c *Coordinator) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	replicas := c.ring.Replicas(name)
+	type result struct {
+		addr string
+		err  error
+	}
+	results := make([]result, len(replicas))
+	var wg sync.WaitGroup
+	for i, addr := range replicas {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), c.cfg.FanoutTimeout)
+			defer cancel()
+			results[i] = result{addr: b.addr, err: c.client.do(ctx, b, "DELETE", "/v1/records/"+url.PathEscape(name), nil, nil)}
+		}(i, c.byAddr[addr])
+	}
+	wg.Wait()
+
+	deleted, notFound := 0, 0
+	var replicaErrs []string
+	for _, res := range results {
+		var berr *BackendError
+		switch {
+		case res.err == nil:
+			deleted++
+		case errors.As(res.err, &berr) && berr.Status == http.StatusNotFound:
+			notFound++
+		default:
+			replicaErrs = append(replicaErrs, res.err.Error())
+		}
+	}
+	if deleted+notFound < c.quorum() {
+		c.metrics.quorumFailures.Add(1)
+		server.WriteErrorDetail(w, http.StatusBadGateway, server.ErrorDetail{
+			Code: CodeQuorumFailed,
+			Message: fmt.Sprintf("delete %q: %d/%d replicas responded (need %d): %s",
+				name, deleted+notFound, len(replicas), c.quorum(), strings.Join(replicaErrs, "; ")),
+		})
+		return
+	}
+	if deleted == 0 {
+		server.WriteError(w, http.StatusNotFound, server.CodeNotFound, fmt.Sprintf("record %q is not indexed", name))
+		return
+	}
+	c.metrics.deletes.Add(1)
+	server.WriteJSON(w, http.StatusOK, server.DeleteResponse{Deleted: name})
+}
+
+// handleGetRecord tries the record's replicas in ring order and
+// returns the first hit. A 404 from one replica is not authoritative —
+// it may have missed a quorum write the others took — so the lookup
+// only reports not_found after every replica has answered 404.
+func (c *Coordinator) handleGetRecord(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	saw404 := false
+	var lastErr error
+	for _, addr := range c.ring.Replicas(name) {
+		b := c.byAddr[addr]
+		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.FanoutTimeout)
+		var rec server.RecordResponse
+		err := c.client.do(ctx, b, "GET", "/v1/records/"+url.PathEscape(name), nil, &rec)
+		cancel()
+		if err == nil {
+			server.WriteJSON(w, http.StatusOK, rec)
+			return
+		}
+		var berr *BackendError
+		if errors.As(err, &berr) && berr.Status == http.StatusNotFound {
+			saw404 = true
+			continue
+		}
+		lastErr = err
+	}
+	if saw404 && lastErr == nil {
+		server.WriteError(w, http.StatusNotFound, server.CodeNotFound, fmt.Sprintf("record %q is not indexed", name))
+		return
+	}
+	server.WriteError(w, http.StatusBadGateway, CodeBackendDown,
+		fmt.Sprintf("record %q: no replica could answer: %v", name, lastErr))
+}
+
+// decodeBody mirrors the single-node server's body handling: size cap,
+// strict JSON, trailing-garbage rejection.
+func (c *Coordinator) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			server.WriteError(w, http.StatusRequestEntityTooLarge, server.CodePayloadTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
+		return false
+	}
+	if dec.More() {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, "malformed JSON body: trailing data")
+		return false
+	}
+	return true
+}

@@ -369,24 +369,35 @@ func checkSearchArgs(ix *Index, query *Sketch, topK int) error {
 	return nil
 }
 
-// finishResults reduces kept (which may alias a pooled buffer) to its
-// topK best-ranked results, sorts them, and copies them out so the
-// pooled backing array never escapes to the caller. The bounded-heap
-// selection runs in O(n log k) and sorts only the K survivors, so a
-// full-corpus scan never pays an O(n log n) sort for a top-10 answer.
-// Empty result sets return nil.
-func finishResults(kept []Result, topK int) []Result {
-	if len(kept) == 0 {
+// MergeTopK reduces results (which may alias a pooled or shared
+// buffer) to its topK best-ranked entries, sorts them, and copies them
+// out so the input backing array never escapes to the caller. The
+// bounded-heap selection runs in O(n log k) and sorts only the K
+// survivors, so a full-corpus scan never pays an O(n log n) sort for a
+// top-10 answer. The ranking is resultBetter's total order (descending
+// similarity, ties by query then ref), the same order the per-shard
+// heaps use — which is what makes merging concatenated per-shard (or,
+// in the cluster coordinator, per-backend) top-Ks exact: the global
+// top-K is always contained in the union of bounded local top-Ks.
+// Empty inputs and topK <= 0 return nil.
+func MergeTopK(results []Result, topK int) []Result {
+	if len(results) == 0 || topK <= 0 {
 		return nil
 	}
-	if len(kept) > topK {
-		selectTopK(kept, topK)
-		kept = kept[:topK]
+	if len(results) > topK {
+		selectTopK(results, topK)
+		results = results[:topK]
 	}
-	sortResults(kept)
-	out := make([]Result, len(kept))
-	copy(out, kept)
+	sortResults(results)
+	out := make([]Result, len(results))
+	copy(out, results)
 	return out
+}
+
+// finishResults is the in-process spelling of MergeTopK, kept so the
+// search paths read as before.
+func finishResults(kept []Result, topK int) []Result {
+	return MergeTopK(kept, topK)
 }
 
 // resultBetter reports whether a ranks strictly before b: descending

@@ -59,27 +59,27 @@ func TestErrorEnvelope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	check(t, resp, http.StatusNotFound, codeNotFound)
+	check(t, resp, http.StatusNotFound, CodeNotFound)
 
 	// The mux's own 405: wrong method on a typed route.
 	resp, err = client.Get(ts.URL + "/v1/search")
 	if err != nil {
 		t.Fatal(err)
 	}
-	check(t, resp, http.StatusMethodNotAllowed, codeMethodNotAllowed)
+	check(t, resp, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
 
 	// A handler-written error keeps its specific code.
 	resp, err = client.Post(ts.URL+"/v1/search", "application/json", strings.NewReader("not json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	check(t, resp, http.StatusBadRequest, codeBadRequest)
+	check(t, resp, http.StatusBadRequest, CodeBadRequest)
 
 	resp, err = client.Get(ts.URL + "/v1/records/no-such-record")
 	if err != nil {
 		t.Fatal(err)
 	}
-	check(t, resp, http.StatusNotFound, codeNotFound)
+	check(t, resp, http.StatusNotFound, CodeNotFound)
 }
 
 // TestDeleteEndpoint: DELETE /v1/records/{name} removes the record,
@@ -188,8 +188,8 @@ func TestIngestQueueFull(t *testing.T) {
 		t.Fatal("429 without Retry-After")
 	}
 	var eb errorBody
-	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != codeQueueFull {
-		t.Fatalf("429 body %s, want code %q", body, codeQueueFull)
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != CodeQueueFull {
+		t.Fatalf("429 body %s, want code %q", body, CodeQueueFull)
 	}
 }
 
@@ -267,7 +267,7 @@ func TestRebucketEndpoint(t *testing.T) {
 		t.Fatalf("bad rebucket status = %d, body %s", resp.StatusCode, body)
 	}
 	var eb errorBody
-	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != codeBadRequest {
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != CodeBadRequest {
 		t.Fatalf("bad rebucket body %s", body)
 	}
 }

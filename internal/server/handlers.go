@@ -21,18 +21,25 @@ type IngestRecord struct {
 	Data string `json:"data"`
 }
 
-// IngestRequest is the body of POST /v1/records.
+// IngestRequest is the body of POST /v1/records. Detailed asks the
+// server to echo a per-record added flag in the response (Results);
+// the cluster coordinator sets it so it can attribute added/skipped
+// per record when a batch is split across replica sets. Plain clients
+// leave it false and the response bytes are unchanged.
 type IngestRequest struct {
-	Records []IngestRecord `json:"records"`
+	Records  []IngestRecord `json:"records"`
+	Detailed bool           `json:"detailed,omitempty"`
 }
 
 // IngestResponse reports what happened to an ingest request's records.
 // Skipped counts records whose names were already indexed (or repeated
-// within the request).
+// within the request). Results is present only when the request set
+// Detailed: one flag per request record, true if that record was added.
 type IngestResponse struct {
-	Received int `json:"received"`
-	Added    int `json:"added"`
-	Skipped  int `json:"skipped"`
+	Received int    `json:"received"`
+	Added    int    `json:"added"`
+	Skipped  int    `json:"skipped"`
+	Results  []bool `json:"results,omitempty"`
 }
 
 // SearchRequest is the body of POST /v1/search. K, MinSimilarity and
@@ -54,11 +61,15 @@ type SearchHit struct {
 	Distance   float64 `json:"distance"`
 }
 
-// SearchResponse is the body returned by POST /v1/search.
+// SearchResponse is the body returned by POST /v1/search. Partial is
+// set only by the cluster coordinator, when enough backends failed
+// that a whole replica set may be unrepresented in Results;
+// single-node servers never set it, so their responses are unchanged.
 type SearchResponse struct {
 	Query   string      `json:"query"`
 	Mode    string      `json:"mode"`
 	Results []SearchHit `json:"results"`
+	Partial bool        `json:"partial,omitempty"`
 }
 
 // RecordResponse describes an indexed record (GET /v1/records/{name}).
@@ -133,8 +144,19 @@ type RebucketResponse struct {
 
 // ErrorDetail is the error object inside every non-2xx response. Code
 // is a stable machine-readable slug (the constants below); Message is
-// prose for humans and logs.
+// prose for humans and logs. Records is set only by the cluster
+// coordinator on quorum failures, one entry per record that missed its
+// write quorum; single-node servers never populate it.
 type ErrorDetail struct {
+	Code    string        `json:"code"`
+	Message string        `json:"message"`
+	Records []RecordError `json:"records,omitempty"`
+}
+
+// RecordError is one record's failure inside a coordinator
+// quorum_failed envelope.
+type RecordError struct {
+	Name    string `json:"name"`
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }
@@ -147,36 +169,36 @@ type errorBody struct {
 
 // Error codes carried in ErrorDetail.Code.
 const (
-	codeBadRequest       = "bad_request"
-	codeNotFound         = "not_found"
-	codePayloadTooLarge  = "payload_too_large"
-	codeQueueFull        = "queue_full"
-	codeShuttingDown     = "shutting_down"
-	codeCanceled         = "canceled"
-	codeOverloaded       = "overloaded"
-	codeMethodNotAllowed = "method_not_allowed"
-	codeInternal         = "internal"
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodePayloadTooLarge  = "payload_too_large"
+	CodeQueueFull        = "queue_full"
+	CodeShuttingDown     = "shutting_down"
+	CodeCanceled         = "canceled"
+	CodeOverloaded       = "overloaded"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeInternal         = "internal"
 )
 
-// codeForStatus maps a bare HTTP status (from the routing layer, which
+// CodeForStatus maps a bare HTTP status (from the routing layer, which
 // never picks its own slug) to the closest error code.
-func codeForStatus(status int) string {
+func CodeForStatus(status int) string {
 	switch status {
 	case http.StatusNotFound:
-		return codeNotFound
+		return CodeNotFound
 	case http.StatusMethodNotAllowed:
-		return codeMethodNotAllowed
+		return CodeMethodNotAllowed
 	case http.StatusRequestEntityTooLarge:
-		return codePayloadTooLarge
+		return CodePayloadTooLarge
 	case http.StatusTooManyRequests:
-		return codeQueueFull
+		return CodeQueueFull
 	case http.StatusServiceUnavailable:
-		return codeOverloaded
+		return CodeOverloaded
 	default:
 		if status >= 500 {
-			return codeInternal
+			return CodeInternal
 		}
-		return codeBadRequest
+		return CodeBadRequest
 	}
 }
 
@@ -190,7 +212,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", s.timed("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /stats", s.timed("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.timed("metrics", s.handleMetrics))
-	return s.jsonErrors(mux)
+	return JSONErrors(mux)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -200,18 +222,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Records) == 0 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "ingest: no records in request")
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "ingest: no records in request")
 		return
 	}
 	if len(req.Records) > s.cfg.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+		WriteError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
 			fmt.Sprintf("ingest: batch of %d records exceeds the %d-record limit", len(req.Records), s.cfg.MaxBatch))
 		return
 	}
 	recs := make([]core.Record, len(req.Records))
 	for i, rec := range req.Records {
 		if rec.Name == "" {
-			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("ingest: record %d has an empty name", i))
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("ingest: record %d has an empty name", i))
 			return
 		}
 		recs[i] = core.Record{Name: rec.Name, Data: []byte(rec.Data)}
@@ -222,19 +244,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// Fail fast instead of parking the client on a full queue: the
 			// 429 carries Retry-After so well-behaved clients back off.
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, codeQueueFull,
+			WriteError(w, http.StatusTooManyRequests, CodeQueueFull,
 				fmt.Sprintf("ingest: queue is full (%d requests pending); retry later", s.cfg.QueueDepth))
 			return
 		}
 		if errors.Is(err, errIngestClosed) {
-			writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "ingest: server is shutting down")
+			WriteError(w, http.StatusServiceUnavailable, CodeShuttingDown, "ingest: server is shutting down")
 			return
 		}
 		if errors.Is(err, r.Context().Err()) {
-			writeError(w, http.StatusServiceUnavailable, codeCanceled, "ingest: request canceled while queued")
+			WriteError(w, http.StatusServiceUnavailable, CodeCanceled, "ingest: request canceled while queued")
 			return
 		}
-		writeError(w, http.StatusInternalServerError, codeInternal, fmt.Sprintf("ingest: %v", err))
+		WriteError(w, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("ingest: %v", err))
 		return
 	}
 	resp := IngestResponse{Received: len(recs)}
@@ -244,7 +266,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Skipped = resp.Received - resp.Added
-	writeJSON(w, http.StatusOK, resp)
+	if req.Detailed {
+		resp.Results = oks
+	}
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -256,7 +281,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.Mode != "" {
 		var err error
 		if mode, err = core.ParseSearchMode(req.Mode); err != nil {
-			writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 			return
 		}
 	}
@@ -265,16 +290,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		k = 10
 	}
 	if k < 0 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("search: k must be positive, got %d", k))
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("search: k must be positive, got %d", k))
 		return
 	}
 	s.metrics.searches.Add(1)
 	results, err := s.eng.SearchMode(core.Record{Name: req.Name, Data: []byte(req.Data)}, mode, k, req.MinSimilarity)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, fmt.Sprintf("search: %v", err))
+		WriteError(w, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("search: %v", err))
 		return
 	}
-	// The hit slice and the response struct come from pools: writeJSON
+	// The hit slice and the response struct come from pools: WriteJSON
 	// has fully serialized them before this handler returns them, so
 	// steady-state search responses reuse one warm buffer set instead of
 	// allocating per request.
@@ -285,7 +310,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := searchRespPool.Get().(*SearchResponse)
 	*resp = SearchResponse{Query: req.Name, Mode: string(mode), Results: *hits}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 	resp.Results = nil
 	searchRespPool.Put(resp)
 	searchHitsPool.Put(hits)
@@ -305,11 +330,11 @@ func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 	// would reconstruct (allocate + unpack) the record's signature from
 	// the packed arena just to throw it away.
 	if !ix.Has(name) {
-		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("record %q is not indexed", name))
+		WriteError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("record %q is not indexed", name))
 		return
 	}
 	meta := ix.Metadata()
-	writeJSON(w, http.StatusOK, RecordResponse{
+	WriteJSON(w, http.StatusOK, RecordResponse{
 		Name:          name,
 		K:             meta.K,
 		SignatureSize: meta.SignatureSize,
@@ -322,15 +347,15 @@ func (s *Server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The tombstone may be in memory but its WAL record did not reach
 		// disk; withholding the ack keeps "deleted" meaning durable.
-		writeError(w, http.StatusInternalServerError, codeInternal, fmt.Sprintf("delete: %v", err))
+		WriteError(w, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("delete: %v", err))
 		return
 	}
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("record %q is not indexed", name))
+		WriteError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("record %q is not indexed", name))
 		return
 	}
 	s.metrics.deletes.Add(1)
-	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: name})
+	WriteJSON(w, http.StatusOK, DeleteResponse{Deleted: name})
 }
 
 func (s *Server) handleRebucket(w http.ResponseWriter, r *http.Request) {
@@ -345,11 +370,11 @@ func (s *Server) handleRebucket(w http.ResponseWriter, r *http.Request) {
 	}
 	lsh := core.LSHParams{Bands: req.Bands, RowsPerBand: req.RowsPerBand}
 	if err := ix.Rebucket(lsh, shards); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	s.metrics.rebuckets.Add(1)
-	writeJSON(w, http.StatusOK, RebucketResponse{
+	WriteJSON(w, http.StatusOK, RebucketResponse{
 		Bands:       lsh.Bands,
 		RowsPerBand: lsh.RowsPerBand,
 		Shards:      shards,
@@ -358,12 +383,12 @@ func (s *Server) handleRebucket(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Records: s.eng.Index().Len()})
+	WriteJSON(w, http.StatusOK, HealthResponse{Status: "ok", Records: s.eng.Index().Len()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics
-	writeJSON(w, http.StatusOK, StatsResponse{
+	WriteJSON(w, http.StatusOK, StatsResponse{
 		Engine:        s.eng.Stats(),
 		UptimeSeconds: m.uptime().Seconds(),
 		Requests: RequestStats{
@@ -398,15 +423,15 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+			WriteError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
 		return false
 	}
 	if dec.More() {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "malformed JSON body: trailing data")
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "malformed JSON body: trailing data")
 		return false
 	}
 	return true
@@ -422,7 +447,11 @@ var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // giant response cannot pin its buffer forever.
 const maxPooledBufBytes = 1 << 20
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON serializes v into a pooled buffer and writes it with
+// Content-Length set. It is the one JSON emitter for this package and
+// the cluster coordinator, so the Content-Type discriminator JSONErrors
+// relies on is set consistently.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	buf := jsonBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	// Encoding these response types cannot fail; a broken connection
@@ -437,12 +466,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, errorBody{Error: ErrorDetail{Code: code, Message: msg}})
+// WriteError writes the standard error envelope
+// {"error":{"code":code,"message":msg}} with the given status.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	WriteJSON(w, status, errorBody{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// WriteErrorDetail writes an envelope around a caller-built ErrorDetail,
+// for errors that carry more than a code and a message (the
+// coordinator's per-record quorum failures).
+func WriteErrorDetail(w http.ResponseWriter, status int, d ErrorDetail) {
+	WriteJSON(w, status, errorBody{Error: d})
 }
 
 // marshalError renders the envelope for the routing-layer interceptor,
-// which writes it directly rather than through writeJSON.
+// which writes it directly rather than through WriteJSON.
 func marshalError(code, msg string) []byte {
 	b, _ := json.Marshal(errorBody{Error: ErrorDetail{Code: code, Message: msg}})
 	return append(b, '\n')

@@ -33,39 +33,45 @@ type metrics struct {
 	// histMu guards registration only; routes() registers every endpoint
 	// once at startup and handlers observe through the returned pointer.
 	histMu    sync.Mutex
-	latencies map[string]*histogram
+	latencies map[string]*Histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), latencies: make(map[string]*histogram)}
+	return &metrics{start: time.Now(), latencies: make(map[string]*Histogram)}
 }
 
 func (m *metrics) uptime() time.Duration { return time.Since(m.start) }
 
-// latencyBuckets are the fixed upper bounds, in seconds, of every
+// LatencyBuckets are the fixed upper bounds, in seconds, of every
 // endpoint latency histogram. They span sub-millisecond cache-warm
 // searches through multi-second compacting snapshots; observations
-// above the last bound land only in the implicit +Inf bucket.
-var latencyBuckets = []float64{
+// above the last bound land only in the implicit +Inf bucket. Treat as
+// read-only; the cluster coordinator shares the same bounds so its
+// fan-out histograms line up with the backends'.
+var LatencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
-// histogram is a fixed-bucket latency histogram in the Prometheus
+// Histogram is a fixed-bucket latency histogram in the Prometheus
 // style: per-bucket counts (non-cumulative in memory, summed at render
-// time), a running sum, and a total count, all atomics.
-type histogram struct {
-	counts   []atomic.Int64 // len(latencyBuckets)+1; last is +Inf overflow
+// time), a running sum, and a total count, all atomics. It is shared
+// with the cluster coordinator, which records fan-out latencies with
+// the same bounds.
+type Histogram struct {
+	counts   []atomic.Int64 // len(LatencyBuckets)+1; last is +Inf overflow
 	sumNanos atomic.Int64
 	count    atomic.Int64
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+// NewHistogram returns an empty histogram over LatencyBuckets.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, len(LatencyBuckets)+1)}
 }
 
-func (h *histogram) observe(d time.Duration) {
+// Observe records one duration. Safe for concurrent use.
+func (h *Histogram) Observe(d time.Duration) {
 	secs := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets, secs)
+	i := sort.SearchFloat64s(LatencyBuckets, secs)
 	h.counts[i].Add(1)
 	h.sumNanos.Add(int64(d))
 	h.count.Add(1)
@@ -73,12 +79,12 @@ func (h *histogram) observe(d time.Duration) {
 
 // hist returns the named endpoint's histogram, registering it on first
 // use. Called once per endpoint while routes are built.
-func (m *metrics) hist(name string) *histogram {
+func (m *metrics) hist(name string) *Histogram {
 	m.histMu.Lock()
 	defer m.histMu.Unlock()
 	h, ok := m.latencies[name]
 	if !ok {
-		h = newHistogram()
+		h = NewHistogram()
 		m.latencies[name] = h
 	}
 	return h
@@ -153,7 +159,7 @@ func (s *Server) limit(next http.Handler) http.Handler {
 		case sem <- struct{}{}:
 			defer func() { <-sem }()
 		case <-r.Context().Done():
-			writeError(w, http.StatusServiceUnavailable, codeOverloaded, "server overloaded")
+			WriteError(w, http.StatusServiceUnavailable, CodeOverloaded, "server overloaded")
 			return
 		}
 		next.ServeHTTP(w, r)
@@ -181,16 +187,18 @@ func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		h(w, r)
-		hist.observe(time.Since(start))
+		hist.Observe(time.Since(start))
 	}
 }
 
-// jsonErrors converts any plain-text error the routing layer emits —
+// JSONErrors converts any plain-text error the routing layer emits —
 // ServeMux's own 404s and 405s, mainly — into the JSON error envelope,
 // so every error response on the API carries the same shape. Responses
-// our handlers write are untouched: writeJSON sets Content-Type to
-// application/json before WriteHeader, which is the discriminator.
-func (s *Server) jsonErrors(next http.Handler) http.Handler {
+// written through WriteJSON are untouched: it sets Content-Type to
+// application/json before WriteHeader, which is the discriminator. The
+// cluster coordinator mounts its routes behind the same middleware so
+// both tiers speak one error shape.
+func JSONErrors(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
 	})
@@ -212,7 +220,7 @@ func (w *envelopeWriter) WriteHeader(code int) {
 	w.wrote = true
 	if code >= 400 && w.Header().Get("Content-Type") != "application/json" {
 		w.suppress = true
-		body := marshalError(codeForStatus(code), http.StatusText(code))
+		body := marshalError(CodeForStatus(code), http.StatusText(code))
 		h := w.Header()
 		h.Del("Content-Length")
 		h.Set("Content-Type", "application/json")

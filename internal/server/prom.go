@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 )
@@ -63,22 +64,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&buf, "# HELP sketchengine_http_request_duration_seconds Request latency by endpoint.\n# TYPE sketchengine_http_request_duration_seconds histogram\n")
 	}
 	for _, name := range names {
-		h := m.latencies[name]
-		var cum int64
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(&buf, "sketchengine_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
-				name, strconv.FormatFloat(ub, 'g', -1, 64), cum)
-		}
-		cum += h.counts[len(latencyBuckets)].Load()
-		fmt.Fprintf(&buf, "sketchengine_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(&buf, "sketchengine_http_request_duration_seconds_sum{endpoint=%q} %s\n",
-			name, strconv.FormatFloat(float64(h.sumNanos.Load())/1e9, 'g', -1, 64))
-		fmt.Fprintf(&buf, "sketchengine_http_request_duration_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
+		WritePromHistogram(&buf, "sketchengine_http_request_duration_seconds",
+			fmt.Sprintf("endpoint=%q", name), m.latencies[name])
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf.Bytes())
+}
+
+// WritePromHistogram renders h as one Prometheus histogram series named
+// metric with the given preformatted label pair (e.g. `endpoint="x"`):
+// cumulative _bucket lines over LatencyBuckets, then _sum and _count.
+// The # HELP / # TYPE header is the caller's job, since it is shared
+// across all series of one metric. The cluster coordinator renders its
+// fan-out histograms through the same helper.
+func WritePromHistogram(w io.Writer, metric, labels string, h *Histogram) {
+	var cum int64
+	for i, ub := range LatencyBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n",
+			metric, labels, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(LatencyBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", metric, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n",
+		metric, labels, strconv.FormatFloat(float64(h.sumNanos.Load())/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", metric, labels, h.count.Load())
 }

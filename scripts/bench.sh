@@ -39,11 +39,18 @@ refuse_dirty_baseline() {
 # report. The explicit -timeout gives the HTTP benchmarks headroom on
 # slow runners.
 run_bench() {
-    local out="$1" benchtime="$2" raw
+    local out="$1" benchtime="$2" raw ncpu gmp
     raw="$(go test -run '^$' -bench=. -benchmem -benchtime="$benchtime" -timeout 20m ./...)"
+    # Record the parallelism the run actually had: ns/op on a 1-core CI
+    # runner is not comparable to ns/op on a 16-core laptop, and the
+    # compare gate uses these fields to tell the two apart instead of
+    # relying on a prose caveat in the PR.
+    ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 0)"
+    gmp="${GOMAXPROCS:-$ncpu}"
 
     awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-        -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+        -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+        -v ncpu="$ncpu" -v gmp="$gmp" '
 BEGIN { n = 0 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -82,6 +89,8 @@ END {
     printf "  \"goos\": \"%s\",\n", goos
     printf "  \"goarch\": \"%s\",\n", goarch
     printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"num_cpu\": %d,\n", ncpu
+    printf "  \"gomaxprocs\": %d,\n", gmp
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++)
         printf "%s%s\n", results[i], (i < n - 1 ? "," : "")
@@ -117,12 +126,32 @@ extract() {
     }' "$1"
 }
 
+# cpu_shape FILE — "num_cpu/gomaxprocs" from a report's metadata, or
+# "?" for reports that predate those fields.
+cpu_shape() {
+    awk -F': ' '
+        /"num_cpu":/    { gsub(/[ ,]/, "", $2); n = $2 }
+        /"gomaxprocs":/ { gsub(/[ ,]/, "", $2); g = $2 }
+        END { if (n == "" && g == "") print "?"; else print n "/" g }
+    ' "$1"
+}
+
 # compare BASELINE CURRENT — markdown diff table over every recorded
 # metric; exit 1 on a >25% regression (ns/op or bytes/rec) in any
-# benchmark present in both files.
+# benchmark present in both files. When the two reports were taken at
+# different CPU shapes (num_cpu/GOMAXPROCS), wall-clock metrics are not
+# comparable, so ns/op regressions demote to warnings and only the
+# machine-independent bytes/rec metric still gates.
 compare() {
-    local baseline="$1" current="$2"
-    awk -F'\t' '
+    local baseline="$1" current="$2" bshape cshape cpumatch=1
+    bshape="$(cpu_shape "$baseline")"
+    cshape="$(cpu_shape "$current")"
+    if [[ "$bshape" != "$cshape" ]]; then
+        cpumatch=0
+        echo "bench.sh: CPU shape mismatch: baseline ran at ${bshape} (num_cpu/GOMAXPROCS), current at ${cshape}." >&2
+        echo "bench.sh: ns/op deltas are not comparable across shapes; gating on bytes/rec only." >&2
+    fi
+    awk -F'\t' -v cpumatch="$cpumatch" '
 NR == FNR { base[$1 "|" $2] = $3; next }
 { key = $1 "|" $2; cur[key] = $3; name[key] = $1; metric[key] = $2; order[n++] = key }
 END {
@@ -139,8 +168,12 @@ END {
         mark = ""
         # Only the stable metrics gate: fsync and ack latencies are
         # disk-jittery and recorded for trend-watching, not CI failure.
-        gated = (metric[key] == "ns/op" || metric[key] == "bytes/rec")
+        # ns/op additionally requires a matching CPU shape between the
+        # two reports (see the mismatch banner above).
+        gated = (metric[key] == "bytes/rec" || (metric[key] == "ns/op" && cpumatch))
         if (gated && cur[key] > base[key] * 1.25) { mark = " **REGRESSION**"; fail = 1 }
+        else if (metric[key] == "ns/op" && !cpumatch && cur[key] > base[key] * 1.25)
+            mark = " (ns/op not gated: cpu shape mismatch)"
         printf "| %s | %s | %s | %s | %+.1f%%%s |\n", name[key], metric[key], base[key], cur[key], delta, mark
     }
     for (key in base)

@@ -11,13 +11,32 @@ cd "$(dirname "$0")/.."
 
 tmp="$(mktemp -d -t engine-smoke.XXXXXX)"
 serve_pid=""
+extra_pids=()
 cleanup() {
     if [[ -n "$serve_pid" ]]; then
         kill -9 "$serve_pid" 2>/dev/null || true
     fi
+    for pid in "${extra_pids[@]:-}"; do
+        [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
+    done
     rm -rf "$tmp"
 }
 trap cleanup EXIT
+
+# wait_addr OUTFILE — poll a serve process's stdout for the serving
+# line and print the bound address, empty on timeout.
+wait_addr() {
+    local addr
+    for _ in $(seq 1 100); do
+        addr="$(grep -oE 'addr=[^[:space:]]+' "$1" 2>/dev/null | head -1 | cut -d= -f2 || true)"
+        if [[ -n "$addr" ]]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo ""
+}
 
 go build -o "$tmp/engine" ./cmd/engine
 
@@ -79,8 +98,8 @@ if ! wait "$serve_pid"; then
 fi
 serve_pid=""
 
-"$tmp/engine" search -d "$index" -top 2 cmd/engine/testdata/beta.txt \
-    | grep -q 'alpha.txt' || fail "snapshot left by SIGTERM is not searchable"
+out="$("$tmp/engine" search -d "$index" -top 2 cmd/engine/testdata/beta.txt)"
+grep -q 'alpha.txt' <<<"$out" || fail "snapshot left by SIGTERM is not searchable"
 
 # ---------------------------------------------------------------------
 # Phase 2: durability. A tiered server is SIGKILLed — no drain, no
@@ -126,8 +145,11 @@ grep -q '"code":"not_found"' "$tmp/del2.json" || fail2 "404 body is not the erro
 curl -fsS -X POST -H 'Content-Type: application/json' \
     -d '{"records": [{"name": "delta.txt", "data": "an entirely different payload that only exists in the write-ahead log"}]}' \
     "$base/v1/records" | grep -q '"added":1' || fail2 "post-delete ingest failed"
-curl -fsS "$base/metrics" | grep -q '^sketchengine_wal_appends_total' || fail2 "/metrics has no WAL counters"
-curl -fsS "$base/metrics" | grep -q 'sketchengine_deletes_total 1' || fail2 "/metrics did not count the delete"
+# Capture /metrics before grepping: `curl | grep -q` races under
+# pipefail (grep exits at first match, curl dies on EPIPE mid-body).
+metrics="$(curl -fsS "$base/metrics")"
+grep -q '^sketchengine_wal_appends_total' <<<"$metrics" || fail2 "/metrics has no WAL counters"
+grep -q 'sketchengine_deletes_total 1' <<<"$metrics" || fail2 "/metrics did not count the delete"
 
 # The crash: SIGKILL, so nothing gets to flush except what the WAL
 # already holds from the per-request acks.
@@ -140,12 +162,79 @@ grep -q 'alpha.txt' <<<"$out" || fail2 "acked record lost in the crash"
 if grep -q 'gamma.txt' <<<"$out"; then
     fail2 "deleted record resurrected by WAL replay"
 fi
-"$tmp/engine" search -data-dir "$datadir" -top 3 cmd/engine/testdata/beta.txt \
-    | grep -q 'beta.txt' || fail2 "acked record beta.txt lost in the crash"
+out="$("$tmp/engine" search -data-dir "$datadir" -top 3 cmd/engine/testdata/beta.txt)"
+grep -q 'beta.txt' <<<"$out" || fail2 "acked record beta.txt lost in the crash"
 # delta.txt was acked after the last snapshot: it lives only in the
 # WAL, so finding it proves the replay path end to end.
 echo "an entirely different payload that only exists in the write-ahead log" >"$tmp/delta-query.txt"
-"$tmp/engine" search -data-dir "$datadir" -top 1 "$tmp/delta-query.txt" \
-    | grep -q 'delta.txt' || fail2 "WAL-only record delta.txt lost in the crash"
+out="$("$tmp/engine" search -data-dir "$datadir" -top 1 "$tmp/delta-query.txt")"
+grep -q 'delta.txt' <<<"$out" || fail2 "WAL-only record delta.txt lost in the crash"
+
+# ---------------------------------------------------------------------
+# Phase 3: cluster. Three single-node backends behind one coordinator
+# at replication=2: ingest and search through the coordinator, then
+# SIGKILL a backend and assert the planted hit still comes back full —
+# every record kept a live replica, so nothing may degrade to partial.
+backend_addrs=()
+for i in 1 2 3; do
+    "$tmp/engine" serve -addr 127.0.0.1:0 -d "$tmp/backend$i.json" -snapshot-every 0 \
+        >"$tmp/backend$i.out" 2>"$tmp/backend$i.err" &
+    extra_pids+=($!)
+done
+for i in 1 2 3; do
+    addr="$(wait_addr "$tmp/backend$i.out")"
+    if [[ -z "$addr" ]]; then
+        echo "smoke: backend $i never reported its address" >&2
+        cat "$tmp/backend$i.err" >&2
+        exit 1
+    fi
+    backend_addrs+=("$addr")
+done
+
+"$tmp/engine" serve -coordinator \
+    -backends "$(IFS=,; echo "${backend_addrs[*]}")" -replication 2 \
+    -addr 127.0.0.1:0 -health-every 250ms \
+    >"$tmp/coord.out" 2>"$tmp/coord.err" &
+serve_pid=$!
+
+addr="$(wait_addr "$tmp/coord.out")"
+if [[ -z "$addr" ]]; then
+    echo "smoke: coordinator never reported its address" >&2
+    cat "$tmp/coord.err" >&2
+    exit 1
+fi
+base="http://$addr"
+fail3() {
+    echo "smoke: $1" >&2
+    cat "$tmp/coord.err" >&2
+    exit 1
+}
+
+grep -q 'coordinator=true' "$tmp/coord.out" || fail3 "serving line does not announce coordinator mode"
+curl -fsS "$base/healthz" | grep -q '"status":"ok"' || fail3 "coordinator healthz not ok"
+
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" "$base/v1/records" \
+    | grep -q '"added":3' || fail3 "coordinator ingest did not add 3 records"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"name": "q", "data": "the quick brown fox jumps over the lazy dog and keeps running through the quiet forest until dusk", "k": 2}' \
+    "$base/v1/search" | grep -q '"ref":"alpha.txt"' || fail3 "coordinator search did not hit alpha.txt"
+curl -fsS "$base/v1/records/beta.txt" | grep -q '"name":"beta.txt"' || fail3 "coordinator record lookup failed"
+
+# The kill: one backend dies mid-service. With replication=2 every
+# record still has a live replica, so the same search must return the
+# planted hit with no "partial" degradation flag.
+kill -9 "${extra_pids[0]}"
+wait "${extra_pids[0]}" 2>/dev/null || true
+post_kill="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"name": "q", "data": "the quick brown fox jumps over the lazy dog and keeps running through the quiet forest until dusk", "k": 2}' \
+    "$base/v1/search")" || fail3 "search errored after a backend SIGKILL"
+grep -q '"ref":"alpha.txt"' <<<"$post_kill" || fail3 "planted hit lost after a backend SIGKILL"
+if grep -q '"partial":true' <<<"$post_kill"; then
+    fail3 "one dead backend of three must not degrade the search to partial"
+fi
+stats="$(curl -fsS "$base/stats")"
+grep -q '"retries":' <<<"$stats" || fail3 "coordinator stats missing retry counter"
+metrics="$(curl -fsS "$base/metrics")"
+grep -q '^sketchengine_cluster_requests_total' <<<"$metrics" || fail3 "coordinator /metrics missing cluster counters"
 
 echo "smoke: ok"
