@@ -43,6 +43,12 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 		"per-backend request timeout inside a coordinator fan-out")
 	healthEvery := fs.Duration("health-every", cluster.DefaultHealthInterval,
 		"coordinator backend health probe interval")
+	hintsDir := fs.String("hints-dir", "",
+		"coordinator hinted-handoff directory: durable hints for replicas that miss quorum-acked writes (empty keeps hints in memory)")
+	hintTTL := fs.Duration("hint-ttl", cluster.DefaultHintTTL,
+		"how long a queued hint waits for its backend before expiring")
+	repairEvery := fs.Duration("repair-every", 0,
+		"coordinator anti-entropy repair sweep interval (0 disables; POST /v1/admin/repair always works)")
 	db := fs.String("d", "index.json", "index file: loaded if present, created otherwise, and the snapshot destination")
 	name := fs.String("name", "default", "index name (new indexes only)")
 	modeFlag := fs.String("mode", "lsh", "default search mode: lsh or exact (requests may override)")
@@ -64,6 +70,9 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 			Replication:    *replication,
 			FanoutTimeout:  *fanoutTimeout,
 			HealthInterval: *healthEvery,
+			HintsDir:       *hintsDir,
+			HintTTL:        *hintTTL,
+			RepairInterval: *repairEvery,
 			MaxInFlight:    *maxInFlight,
 			MaxBatch:       *maxBatch,
 			MaxBodyBytes:   *maxBody,
@@ -73,6 +82,11 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	}
 	if *backends != "" {
 		return fmt.Errorf("serve: -backends requires -coordinator")
+	}
+	for flagName, v := range map[string]bool{"hints-dir": *hintsDir != "", "hint-ttl": *hintTTL != cluster.DefaultHintTTL, "repair-every": *repairEvery != 0} {
+		if v {
+			return fmt.Errorf("serve: -%s requires -coordinator", flagName)
+		}
 	}
 	mode, err := core.ParseSearchMode(*modeFlag)
 	if err != nil {
@@ -180,6 +194,7 @@ func serveCoordinator(fs *flag.FlagSet, cfg cluster.Config, backends, pprofAddr 
 	if err != nil {
 		return err
 	}
+	defer coord.Close()
 	if pprofAddr != "" {
 		stop, bound, err := servePprof(pprofAddr)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sketchengine/internal/server"
 )
@@ -39,6 +40,14 @@ type backend struct {
 
 	lastErr   atomic.Pointer[string] // last proxied-request or probe error
 	downSince atomic.Int64           // unix nanos; 0 while up
+
+	// probeInterval is the current reprobe cadence in nanoseconds: the
+	// base health interval while the backend answers, doubling (with
+	// jitter, capped at MaxProbeInterval) while it stays down so a dead
+	// backend is not hammered every tick. Atomic because /stats reads
+	// it; nextProbe is only touched by the health loop.
+	probeInterval atomic.Int64
+	nextProbe     time.Time
 }
 
 func newBackend(addr string) *backend {

@@ -62,13 +62,17 @@ func newTestCluster(t *testing.T, n, replication int) *testCluster {
 		Backends:       addrs,
 		Replication:    replication,
 		HealthInterval: -1, // probes are driven by hand in tests
+		HintInterval:   -1, // hint drains too
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	tc.coord = coord
 	tc.ts = httptest.NewServer(coord.Handler())
-	t.Cleanup(tc.ts.Close)
+	t.Cleanup(func() {
+		tc.ts.Close()
+		_ = coord.Close()
+	})
 	return tc
 }
 

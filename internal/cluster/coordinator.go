@@ -20,6 +20,8 @@ const (
 	DefaultHealthInterval = time.Second
 	DefaultDownAfter      = 3
 	DefaultUpAfter        = 2
+	DefaultHintTTL        = time.Hour
+	DefaultHintInterval   = time.Second
 )
 
 // Config configures a Coordinator. Zero values fall back to the
@@ -41,11 +43,31 @@ type Config struct {
 	// HealthInterval is the /healthz probe period. Negative disables
 	// the checker (tests drive health by hand).
 	HealthInterval time.Duration
+	// MaxProbeInterval caps the exponential backoff the prober applies
+	// to a backend that keeps failing its probes. Zero means ten times
+	// HealthInterval.
+	MaxProbeInterval time.Duration
 	// DownAfter / UpAfter are the hysteresis widths: consecutive probe
 	// failures before a backend is marked down, consecutive successes
 	// before it is marked up again.
 	DownAfter int
 	UpAfter   int
+	// HintsDir, when set, makes hinted handoff durable: hints queued
+	// for replicas that missed a quorum-acked write are appended to
+	// CRC-framed per-backend files under this directory and reloaded
+	// when the coordinator restarts. Empty keeps hints in memory only.
+	HintsDir string
+	// HintTTL bounds how long a hint waits for its backend before it
+	// expires (the anti-entropy sweep is the backstop past that).
+	HintTTL time.Duration
+	// HintInterval is the hint drainer's scan period. Negative disables
+	// the background drainer (tests drive it by hand); zero means
+	// DefaultHintInterval.
+	HintInterval time.Duration
+	// RepairInterval, when positive, runs a full anti-entropy repair
+	// sweep (the same walk POST /v1/admin/repair does) this often.
+	// Zero disables periodic sweeps; the admin endpoint still works.
+	RepairInterval time.Duration
 	// MaxInFlight bounds concurrently served coordinator requests.
 	MaxInFlight int
 	// MaxBatch caps records per ingest request, mirroring the backends'
@@ -63,20 +85,40 @@ type Config struct {
 
 // Coordinator serves the /v1 API by fanning out to backends. Build one
 // with New, then Listen and Serve, mirroring server.Server's
-// lifecycle.
+// lifecycle. Call Close when done to stop the background repair and
+// hint workers and release the hint files.
 type Coordinator struct {
-	cfg      Config
+	cfg     Config
+	client  *client
+	metrics *clusterMetrics
+	handler http.Handler
+	hints   *hintStore
+	repairs *repairQueue
+
+	// mu guards the membership view: the placement ring, the optional
+	// migration target ring, and the backend list. Request paths take
+	// a snapshot under RLock and work from it; only join/drain commit
+	// a new view.
+	mu       sync.RWMutex
 	ring     *Ring
-	backends []*backend // same order as ring.Backends()
+	next     *Ring // target ring while a join/drain streams; nil otherwise
+	backends []*backend
 	byAddr   map[string]*backend
-	client   *client
-	metrics  *clusterMetrics
-	handler  http.Handler
+
+	// rebalanceMu serializes join/drain; TryLock turns a concurrent
+	// attempt into an immediate 409 instead of a queued surprise.
+	rebalanceMu sync.Mutex
+
+	hintKick chan struct{} // nudges the drainer on a down->up transition
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	lis net.Listener
 }
 
-// New validates cfg and builds a Coordinator.
+// New validates cfg and builds a Coordinator. The hint drainer and the
+// read-repair worker start immediately (Serve only adds the listener,
+// the health checker, and the optional periodic sweep).
 func New(cfg Config) (*Coordinator, error) {
 	if cfg.Replication == 0 {
 		cfg.Replication = DefaultReplication
@@ -87,11 +129,23 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.HealthInterval == 0 {
 		cfg.HealthInterval = DefaultHealthInterval
 	}
+	if cfg.MaxProbeInterval <= 0 {
+		cfg.MaxProbeInterval = 10 * cfg.HealthInterval
+	}
+	if cfg.MaxProbeInterval < cfg.HealthInterval {
+		cfg.MaxProbeInterval = cfg.HealthInterval
+	}
 	if cfg.DownAfter <= 0 {
 		cfg.DownAfter = DefaultDownAfter
 	}
 	if cfg.UpAfter <= 0 {
 		cfg.UpAfter = DefaultUpAfter
+	}
+	if cfg.HintTTL <= 0 {
+		cfg.HintTTL = DefaultHintTTL
+	}
+	if cfg.HintInterval == 0 {
+		cfg.HintInterval = DefaultHintInterval
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = server.DefaultMaxInFlight
@@ -109,12 +163,20 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	hints, err := newHintStore(cfg.HintsDir, cfg.HintTTL)
+	if err != nil {
+		return nil, err
+	}
 	c := &Coordinator{
-		cfg:     cfg,
-		ring:    ring,
-		client:  newClient(len(ring.Backends())),
-		metrics: newClusterMetrics(),
-		byAddr:  make(map[string]*backend, len(ring.Backends())),
+		cfg:      cfg,
+		ring:     ring,
+		client:   newClient(len(ring.Backends())),
+		metrics:  newClusterMetrics(),
+		hints:    hints,
+		repairs:  newRepairQueue(),
+		byAddr:   make(map[string]*backend, len(ring.Backends())),
+		hintKick: make(chan struct{}, 1),
+		stop:     make(chan struct{}),
 	}
 	for _, addr := range ring.Backends() {
 		b := newBackend(addr)
@@ -122,12 +184,52 @@ func New(cfg Config) (*Coordinator, error) {
 		c.byAddr[addr] = b
 	}
 	c.handler = c.limit(c.count(server.JSONErrors(c.routes())))
+	go c.repairLoop()
+	if cfg.HintInterval > 0 {
+		go c.hintLoop()
+	}
 	return c, nil
 }
 
-// Ring returns the coordinator's placement ring, so tests and tools
-// can compute replica sets the way the coordinator does.
-func (c *Coordinator) Ring() *Ring { return c.ring }
+// Close stops the background hint and repair workers and closes the
+// hint files. It does not touch an active Serve loop — cancel Serve's
+// context for that.
+func (c *Coordinator) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	return c.hints.close()
+}
+
+// Ring returns the coordinator's current placement ring, so tests and
+// tools can compute replica sets the way the coordinator does.
+func (c *Coordinator) Ring() *Ring {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring
+}
+
+// rings snapshots the placement view: the authoritative ring and, while
+// a join/drain is streaming, the migration target (nil otherwise).
+func (c *Coordinator) rings() (ring, next *Ring) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring, c.next
+}
+
+// backendList snapshots the backend list. The slice is replaced, never
+// mutated in place, so iterating the snapshot without the lock is safe.
+func (c *Coordinator) backendList() []*backend {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.backends
+}
+
+// lookup resolves a backend address to its state, or nil if it has
+// left the fleet.
+func (c *Coordinator) lookup(addr string) *backend {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byAddr[addr]
+}
 
 // Handler returns the coordinator's HTTP handler (routes behind the
 // envelope, counting, and concurrency-limit middleware), for tests and
@@ -150,7 +252,8 @@ func (c *Coordinator) Listen() (net.Addr, error) {
 
 // Serve serves on the listener bound by Listen until ctx is canceled,
 // then drains in-flight requests for up to DrainTimeout. The health
-// checker runs for exactly the lifetime of the serve loop.
+// checker and the periodic repair sweep run for exactly the lifetime
+// of the serve loop.
 func (c *Coordinator) Serve(ctx context.Context) error {
 	if c.lis == nil {
 		return errors.New("cluster: Serve called before Listen")
@@ -159,6 +262,9 @@ func (c *Coordinator) Serve(ctx context.Context) error {
 	defer stopHealth()
 	if c.cfg.HealthInterval > 0 {
 		go c.healthLoop(hctx)
+	}
+	if c.cfg.RepairInterval > 0 {
+		go c.sweepLoop(hctx)
 	}
 	hs := &http.Server{
 		Handler:           c.handler,
@@ -201,6 +307,13 @@ type clusterMetrics struct {
 	retries        atomic.Int64 // backend calls retried after a failed first wave
 	partials       atomic.Int64 // search responses degraded to partial
 	quorumFailures atomic.Int64 // records that missed their write quorum
+
+	joins             atomic.Int64 // committed ring joins
+	drains            atomic.Int64 // committed ring drains
+	rebalanceFailures atomic.Int64 // join/drain attempts aborted before commit
+	rebalanceMoved    atomic.Int64 // records whose replica set changed across commits
+	rebalanceCopied   atomic.Int64 // record copies streamed to new replicas
+	rebalanceActive   atomic.Bool  // a join/drain stream is in flight
 
 	// histMu guards registration only; every endpoint registers once at
 	// startup.

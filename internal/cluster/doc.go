@@ -17,8 +17,23 @@
 //
 // A health checker probes each backend's /healthz with
 // consecutive-failure hysteresis so one dropped probe never flaps the
-// ring. The search path retries failed backends once before degrading:
+// ring, backing off exponentially (with jitter) on backends that stay
+// down. The search path retries failed backends once before degrading:
 // a response is flagged "partial": true only when the non-responders
 // could cover a whole replica set, i.e. when completeness can no
 // longer be guaranteed.
+//
+// The fleet is self-healing. Replicas that miss a quorum-acked write
+// get a hinted handoff: the miss is queued (durably, with -hints-dir)
+// and replayed automatically once the health checker sees the backend
+// again. Reads that expose replica disagreement — a GET that 404s on
+// one replica and hits on another, a search hit missing from a replica
+// that provably had room for it — feed an anti-entropy read-repair
+// queue, and POST /v1/admin/repair (or -repair-every) sweeps the whole
+// corpus back to full replication, removing strays once their replica
+// set is verifiably complete. Membership is elastic: POST
+// /v1/admin/join and /v1/admin/drain stream affected records to their
+// new replicas before committing the ring swap, so the replication
+// invariant — every record on exactly Replication live replicas of the
+// committed ring — holds before, during, and after the change.
 package cluster

@@ -61,9 +61,10 @@ func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	c.metrics.searches.Add(1)
 
-	calls := make([]*searchCall, len(c.backends))
+	backends := c.backendList()
+	calls := make([]*searchCall, len(backends))
 	var firstWave []*searchCall
-	for i, b := range c.backends {
+	for i, b := range backends {
 		calls[i] = &searchCall{b: b}
 		if b.up.Load() {
 			firstWave = append(firstWave, calls[i])
@@ -131,6 +132,8 @@ func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	merged := core.MergeTopK(pooled, k)
+	ring, _ := c.rings()
+	c.offerSearchRepairs(ring, calls, merged, k)
 	// Zero-hit responses must encode as "results":[], matching the
 	// single-node server (nil would marshal as null).
 	hits := make([]server.SearchHit, 0, len(merged))
@@ -143,6 +146,52 @@ func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Results: hits,
 		Partial: partial,
 	})
+}
+
+// offerSearchRepairs turns search results into anti-entropy signals: a
+// merged hit absent from a responding replica that the ring says holds
+// it — when that replica's list provably had room (fewer than k hits,
+// or a strictly worse-scored tail) — is replica disagreement, and the
+// record goes to the read-repair queue. Candidate-pruning modes can
+// legitimately miss a hit the replica does hold, so this is a
+// heuristic; a false positive only costs the repair worker one probe
+// that finds nothing to fix.
+func (c *Coordinator) offerSearchRepairs(ring *Ring, calls []*searchCall, merged []core.Result, k int) {
+	byAddr := make(map[string]*searchCall, len(calls))
+	responded := 0
+	for _, call := range calls {
+		if call.ok {
+			byAddr[call.b.addr] = call
+			responded++
+		}
+	}
+	if responded < 2 {
+		return // disagreement needs two answers
+	}
+	for _, hit := range merged {
+		for _, addr := range ring.Replicas(hit.Ref) {
+			call, ok := byAddr[addr]
+			if !ok {
+				continue
+			}
+			found := false
+			for _, res := range call.resp.Results {
+				if res.Ref == hit.Ref {
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			hadRoom := len(call.resp.Results) < k ||
+				(len(call.resp.Results) > 0 && call.resp.Results[len(call.resp.Results)-1].Similarity < hit.Similarity)
+			if hadRoom {
+				c.repairs.offer(hit.Ref)
+				break
+			}
+		}
+	}
 }
 
 // scatterSearch sends req to every call's backend concurrently, each

@@ -17,6 +17,10 @@ func (c *Coordinator) routes() http.Handler {
 	mux.HandleFunc("POST /v1/search", c.timed("search", c.handleSearch))
 	mux.HandleFunc("GET /v1/records/{name}", c.timed("get_record", c.handleGetRecord))
 	mux.HandleFunc("DELETE /v1/records/{name}", c.timed("delete_record", c.handleDeleteRecord))
+	mux.HandleFunc("POST /v1/admin/rebucket", c.timed("rebucket", c.handleRebucket))
+	mux.HandleFunc("POST /v1/admin/repair", c.timed("repair", c.handleRepairSweep))
+	mux.HandleFunc("POST /v1/admin/join", c.timed("join", c.handleJoin))
+	mux.HandleFunc("POST /v1/admin/drain", c.timed("drain", c.handleDrain))
 	mux.HandleFunc("GET /healthz", c.timed("healthz", c.handleHealthz))
 	mux.HandleFunc("GET /stats", c.timed("stats", c.handleStats))
 	mux.HandleFunc("GET /metrics", c.timed("metrics", c.handleMetrics))
@@ -42,7 +46,43 @@ type BackendStats struct {
 	RoutedRecords int64   `json:"routed_records"`
 	Transitions   int64   `json:"transitions"`
 	DownSeconds   float64 `json:"down_seconds,omitempty"`
-	LastError     string  `json:"last_error,omitempty"`
+	// PendingHints is how many quorum-acked writes this backend still
+	// has to catch up on; ProbeIntervalSeconds is the health prober's
+	// current (backed-off) cadence for it.
+	PendingHints         int     `json:"pending_hints"`
+	ProbeIntervalSeconds float64 `json:"probe_interval_seconds,omitempty"`
+	LastError            string  `json:"last_error,omitempty"`
+}
+
+// HintStats summarizes the hinted-handoff store in /stats.
+type HintStats struct {
+	Pending  int   `json:"pending"`
+	Queued   int64 `json:"queued"`
+	Replayed int64 `json:"replayed"`
+	Expired  int64 `json:"expired"`
+	Dropped  int64 `json:"dropped"`
+}
+
+// RepairStats summarizes anti-entropy activity in /stats.
+type RepairStats struct {
+	QueueDepth int   `json:"queue_depth"`
+	Enqueued   int64 `json:"enqueued"`
+	Dropped    int64 `json:"dropped"`
+	Checked    int64 `json:"checked"`
+	Applied    int64 `json:"applied"`
+	Removed    int64 `json:"removed_strays"`
+	Failures   int64 `json:"failures"`
+	Sweeps     int64 `json:"sweeps"`
+}
+
+// RebalanceStats summarizes ring membership changes in /stats.
+type RebalanceStats struct {
+	Active   bool  `json:"active"`
+	Joins    int64 `json:"joins"`
+	Drains   int64 `json:"drains"`
+	Failures int64 `json:"failures"`
+	Moved    int64 `json:"records_moved"`
+	Copied   int64 `json:"copies_streamed"`
 }
 
 // StatsResponse is the coordinator's GET /stats body.
@@ -50,6 +90,7 @@ type StatsResponse struct {
 	UptimeSeconds  float64        `json:"uptime_seconds"`
 	Replication    int            `json:"replication"`
 	WriteQuorum    int            `json:"write_quorum"`
+	Ring           []string       `json:"ring"`
 	Requests       int64          `json:"requests"`
 	Searches       int64          `json:"searches"`
 	IngestRequests int64          `json:"ingest_requests"`
@@ -58,31 +99,36 @@ type StatsResponse struct {
 	Retries        int64          `json:"retries"`
 	PartialResults int64          `json:"partial_results"`
 	QuorumFailures int64          `json:"quorum_failures"`
+	Hints          HintStats      `json:"hints"`
+	Repair         RepairStats    `json:"repair"`
+	Rebalance      RebalanceStats `json:"rebalance"`
 	Backends       []BackendStats `json:"backends"`
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	backends := c.backendList()
 	up := 0
-	for _, b := range c.backends {
+	for _, b := range backends {
 		if b.up.Load() {
 			up++
 		}
 	}
 	status := "ok"
-	if up < len(c.backends) {
+	if up < len(backends) {
 		status = "degraded"
 	}
 	server.WriteJSON(w, http.StatusOK, HealthResponse{
 		Status:      status,
-		Backends:    len(c.backends),
+		Backends:    len(backends),
 		BackendsUp:  up,
 		Replication: c.cfg.Replication,
 	})
 }
 
 func (c *Coordinator) backendStats() []BackendStats {
-	out := make([]BackendStats, 0, len(c.backends))
-	for _, b := range c.backends {
+	backends := c.backendList()
+	out := make([]BackendStats, 0, len(backends))
+	for _, b := range backends {
 		bs := BackendStats{
 			Addr:          b.addr,
 			Up:            b.up.Load(),
@@ -90,9 +136,13 @@ func (c *Coordinator) backendStats() []BackendStats {
 			Failures:      b.failures.Load(),
 			RoutedRecords: b.routedRecords.Load(),
 			Transitions:   b.transitions.Load(),
+			PendingHints:  c.hints.depthFor(b.addr),
 		}
 		if since := b.downSince.Load(); since != 0 {
 			bs.DownSeconds = time.Since(time.Unix(0, since)).Seconds()
+		}
+		if iv := b.probeInterval.Load(); iv != 0 {
+			bs.ProbeIntervalSeconds = time.Duration(iv).Seconds()
 		}
 		if msg := b.lastErr.Load(); msg != nil {
 			bs.LastError = *msg
@@ -104,10 +154,12 @@ func (c *Coordinator) backendStats() []BackendStats {
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := c.metrics
+	ring, _ := c.rings()
 	server.WriteJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds:  time.Since(m.start).Seconds(),
 		Replication:    c.cfg.Replication,
 		WriteQuorum:    c.quorum(),
+		Ring:           ring.Backends(),
 		Requests:       m.requests.Load(),
 		Searches:       m.searches.Load(),
 		IngestRequests: m.ingestRequests.Load(),
@@ -116,7 +168,32 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		Retries:        m.retries.Load(),
 		PartialResults: m.partials.Load(),
 		QuorumFailures: m.quorumFailures.Load(),
-		Backends:       c.backendStats(),
+		Hints: HintStats{
+			Pending:  c.hints.depth(),
+			Queued:   c.hints.queued.Load(),
+			Replayed: c.hints.replayed.Load(),
+			Expired:  c.hints.expired.Load(),
+			Dropped:  c.hints.dropped.Load(),
+		},
+		Repair: RepairStats{
+			QueueDepth: c.repairs.depth(),
+			Enqueued:   c.repairs.enqueued.Load(),
+			Dropped:    c.repairs.dropped.Load(),
+			Checked:    c.repairs.checked.Load(),
+			Applied:    c.repairs.applied.Load(),
+			Removed:    c.repairs.removed.Load(),
+			Failures:   c.repairs.failed.Load(),
+			Sweeps:     c.repairs.sweeps.Load(),
+		},
+		Rebalance: RebalanceStats{
+			Active:   m.rebalanceActive.Load(),
+			Joins:    m.joins.Load(),
+			Drains:   m.drains.Load(),
+			Failures: m.rebalanceFailures.Load(),
+			Moved:    m.rebalanceMoved.Load(),
+			Copied:   m.rebalanceCopied.Load(),
+		},
+		Backends: c.backendStats(),
 	})
 }
 
@@ -126,10 +203,15 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 // the observed ring occupancy.
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := c.metrics
+	backends := c.backendList()
 	var buf bytes.Buffer
 
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(&buf, "# HELP sketchengine_cluster_%s %s\n# TYPE sketchengine_cluster_%s counter\nsketchengine_cluster_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&buf, "# HELP sketchengine_cluster_%s %s\n# TYPE sketchengine_cluster_%s gauge\nsketchengine_cluster_%s %d\n",
 			name, help, name, name, v)
 	}
 	counter("requests_total", "Requests accepted by the coordinator.", m.requests.Load())
@@ -141,8 +223,34 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("partial_results_total", "Search responses degraded to partial.", m.partials.Load())
 	counter("quorum_failures_total", "Records that missed their write quorum.", m.quorumFailures.Load())
 
+	gauge("hint_depth", "Hints pending across all backends.", int64(c.hints.depth()))
+	counter("hints_queued_total", "Hints enqueued for replicas that missed an acked write.", c.hints.queued.Load())
+	counter("hints_replayed_total", "Hints successfully replayed to their backend.", c.hints.replayed.Load())
+	counter("hints_expired_total", "Hints dropped past their TTL.", c.hints.expired.Load())
+	counter("hints_dropped_total", "Hints discarded because the backend left the ring.", c.hints.dropped.Load())
+
+	gauge("repair_queue_depth", "Record names waiting for the read-repair worker.", int64(c.repairs.depth()))
+	counter("repair_enqueued_total", "Records enqueued for read repair.", c.repairs.enqueued.Load())
+	counter("repair_dropped_total", "Read-repair enqueues dropped on a full queue.", c.repairs.dropped.Load())
+	counter("repair_checked_total", "Repair probes completed.", c.repairs.checked.Load())
+	counter("repair_applied_total", "Record copies written by repair.", c.repairs.applied.Load())
+	counter("repair_removed_strays_total", "Stray copies deleted by the sweep.", c.repairs.removed.Load())
+	counter("repair_failures_total", "Repairs that could not converge.", c.repairs.failed.Load())
+	counter("repair_sweeps_total", "Full anti-entropy sweeps completed.", c.repairs.sweeps.Load())
+
+	active := int64(0)
+	if m.rebalanceActive.Load() {
+		active = 1
+	}
+	gauge("rebalance_active", "1 while a join/drain stream is in flight.", active)
+	counter("rebalance_joins_total", "Committed ring joins.", m.joins.Load())
+	counter("rebalance_drains_total", "Committed ring drains.", m.drains.Load())
+	counter("rebalance_failures_total", "Join/drain attempts aborted before commit.", m.rebalanceFailures.Load())
+	counter("rebalance_moved_total", "Records whose replica set changed across commits.", m.rebalanceMoved.Load())
+	counter("rebalance_copied_total", "Record copies streamed to new replicas.", m.rebalanceCopied.Load())
+
 	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_backend_up Backend health as seen by the checker (1 up, 0 down).\n# TYPE sketchengine_cluster_backend_up gauge\n")
-	for _, b := range c.backends {
+	for _, b := range backends {
 		up := 0
 		if b.up.Load() {
 			up = 1
@@ -150,15 +258,19 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&buf, "sketchengine_cluster_backend_up{backend=%q} %d\n", b.addr, up)
 	}
 	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_backend_requests_total Requests proxied to each backend.\n# TYPE sketchengine_cluster_backend_requests_total counter\n")
-	for _, b := range c.backends {
+	for _, b := range backends {
 		fmt.Fprintf(&buf, "sketchengine_cluster_backend_requests_total{backend=%q} %d\n", b.addr, b.requests.Load())
 	}
 	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_backend_failures_total Proxied requests that failed, per backend.\n# TYPE sketchengine_cluster_backend_failures_total counter\n")
-	for _, b := range c.backends {
+	for _, b := range backends {
 		fmt.Fprintf(&buf, "sketchengine_cluster_backend_failures_total{backend=%q} %d\n", b.addr, b.failures.Load())
 	}
+	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_backend_pending_hints Hints queued per backend.\n# TYPE sketchengine_cluster_backend_pending_hints gauge\n")
+	for _, b := range backends {
+		fmt.Fprintf(&buf, "sketchengine_cluster_backend_pending_hints{backend=%q} %d\n", b.addr, c.hints.depthFor(b.addr))
+	}
 	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_ring_records Record-replica assignments per backend: the observed ring occupancy.\n# TYPE sketchengine_cluster_ring_records counter\n")
-	for _, b := range c.backends {
+	for _, b := range backends {
 		fmt.Fprintf(&buf, "sketchengine_cluster_ring_records{backend=%q} %d\n", b.addr, b.routedRecords.Load())
 	}
 

@@ -1,0 +1,513 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sketchengine/internal/server"
+)
+
+// Hinted handoff: when a write reaches its quorum but some replica
+// missed it, the coordinator records a hint — enough to replay the
+// write later — instead of silently leaving that replica behind. The
+// drainer replays hints in order once the health prober sees the
+// backend again, so a restarted replica converges without any manual
+// repair. Hints expire after HintTTL (the anti-entropy sweep is the
+// backstop for anything older).
+//
+// With HintsDir set, each backend's hints live in one append-only
+// CRC-framed file reusing the WAL's frame shape (docs/FORMAT.md):
+// a header (magic "SKHL", u32 version, u32 addrLen, addr) followed by
+//
+//	u32 bodyLen | u32 crc32(body) | body
+//
+// where body is
+//
+//	u64 expiresUnixNano | u8 op | u32 nameLen | name | u32 dataLen | data
+//
+// all little-endian. op=add carries the record payload (the backend
+// re-sketches it deterministically); op=delete carries the tombstone.
+// A torn tail from a crash mid-append is truncated at load, exactly
+// like the core WAL. Replayed hints are removed by rewriting the file
+// through a temp-file rename, so a crash mid-drain re-replays (adds
+// and deletes are both idempotent on the backend).
+const (
+	hintMagic   = "SKHL"
+	hintVersion = 1
+
+	hintOpAdd    = 1
+	hintOpDelete = 2
+
+	// hintMaxBody rejects absurd frame lengths before allocating.
+	hintMaxBody = 1 << 27
+)
+
+// hint is one deferred write for a backend that missed it.
+type hint struct {
+	op      byte
+	name    string
+	data    string // op=add only: the record payload
+	expires int64  // unix nanos
+}
+
+// hintLog is one backend's pending hints, oldest first, plus the open
+// durable file when the store has a directory.
+type hintLog struct {
+	addr  string
+	path  string
+	f     *os.File
+	hints []hint
+}
+
+// hintStore holds every backend's pending hints. All methods are safe
+// for concurrent use; the mutex spans file appends so the on-disk
+// order matches the replay order.
+type hintStore struct {
+	dir string // "" = memory only
+	ttl time.Duration
+
+	mu   sync.Mutex
+	logs map[string]*hintLog
+
+	queued   atomic.Int64 // hints ever enqueued
+	replayed atomic.Int64 // hints successfully replayed to their backend
+	expired  atomic.Int64 // hints dropped past their TTL
+	dropped  atomic.Int64 // hints discarded because the backend left the ring
+}
+
+// newHintStore builds the store, loading any hint files a previous
+// coordinator left under dir (empty dir keeps hints in memory only).
+func newHintStore(dir string, ttl time.Duration) (*hintStore, error) {
+	s := &hintStore{dir: dir, ttl: ttl, logs: make(map[string]*hintLog)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: hints dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: hints dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".hint" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		addr, hints, validEnd, err := scanHintFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if fi, err := os.Stat(path); err == nil && fi.Size() > validEnd {
+			// Torn tail from a crash mid-append: keep the valid prefix.
+			if err := os.Truncate(path, validEnd); err != nil {
+				return nil, fmt.Errorf("cluster: hints: truncate %s: %w", path, err)
+			}
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: hints: %w", err)
+		}
+		s.logs[addr] = &hintLog{addr: addr, path: path, f: f, hints: hints}
+		s.queued.Add(int64(len(hints)))
+	}
+	return s, nil
+}
+
+// hintPath names addr's hint file: the address sanitized for the
+// filesystem plus a hash suffix so distinct addresses never collide.
+func hintPath(dir, addr string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	return filepath.Join(dir, fmt.Sprintf("%s-%016x.hint", url.PathEscape(addr), h.Sum64()))
+}
+
+// enqueue appends hints for addr, durably when the store has a
+// directory (one fsync covers the whole batch). Enqueue failures are
+// returned but non-fatal to the caller's write: the write already met
+// quorum, a lost hint only delays convergence until the sweep.
+func (s *hintStore) enqueue(addr string, hs ...hint) error {
+	if len(hs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.logs[addr]
+	if l == nil {
+		l = &hintLog{addr: addr}
+		if s.dir != "" {
+			l.path = hintPath(s.dir, addr)
+			f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+			if err != nil {
+				return fmt.Errorf("cluster: hints: %w", err)
+			}
+			if _, err := f.Write(hintHeader(addr)); err != nil {
+				f.Close()
+				return fmt.Errorf("cluster: hints: %w", err)
+			}
+			l.f = f
+		}
+		s.logs[addr] = l
+	}
+	l.hints = append(l.hints, hs...)
+	s.queued.Add(int64(len(hs)))
+	if l.f == nil {
+		return nil
+	}
+	var buf []byte
+	for _, h := range hs {
+		buf = appendHintFrame(buf, h)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("cluster: hints: append %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("cluster: hints: fsync %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// take returns a snapshot of addr's pending hints, oldest first. The
+// drainer replays the snapshot in order and then calls commit with how
+// many it disposed of; hints enqueued meanwhile sit safely past the
+// snapshot.
+func (s *hintStore) take(addr string) []hint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.logs[addr]
+	if l == nil || len(l.hints) == 0 {
+		return nil
+	}
+	out := make([]hint, len(l.hints))
+	copy(out, l.hints)
+	return out
+}
+
+// commit removes the first done hints of addr's log (the prefix the
+// drainer replayed or expired) and rewrites the durable file to match.
+func (s *hintStore) commit(addr string, done int) error {
+	if done <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.logs[addr]
+	if l == nil {
+		return nil
+	}
+	if done > len(l.hints) {
+		done = len(l.hints)
+	}
+	l.hints = append(l.hints[:0], l.hints[done:]...)
+	return s.rewriteLocked(l)
+}
+
+// rewriteLocked replaces l's file with its current in-memory hints via
+// a temp-file rename, the same commit-point idiom the snapshot writer
+// uses. Callers hold s.mu.
+func (s *hintStore) rewriteLocked(l *hintLog) error {
+	if l.f == nil {
+		return nil
+	}
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: hints: %w", err)
+	}
+	buf := hintHeader(l.addr)
+	for _, h := range l.hints {
+		buf = appendHintFrame(buf, h)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: hints: rewrite %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: hints: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cluster: hints: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("cluster: hints: %w", err)
+	}
+	l.f.Close()
+	nf, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: hints: reopen %s: %w", l.path, err)
+	}
+	l.f = nf
+	return nil
+}
+
+// dropBackend discards addr's hints and file: the backend left the
+// ring, nothing will ever replay to it.
+func (s *hintStore) dropBackend(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.logs[addr]
+	if l == nil {
+		return
+	}
+	s.dropped.Add(int64(len(l.hints)))
+	if l.f != nil {
+		l.f.Close()
+		_ = os.Remove(l.path)
+	}
+	delete(s.logs, addr)
+}
+
+// depth returns the total pending hints across backends.
+func (s *hintStore) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, l := range s.logs {
+		n += len(l.hints)
+	}
+	return n
+}
+
+// depthFor returns addr's pending hint count.
+func (s *hintStore) depthFor(addr string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l := s.logs[addr]; l != nil {
+		return len(l.hints)
+	}
+	return 0
+}
+
+// addrs returns the backends with pending hints, sorted for
+// deterministic drain order.
+func (s *hintStore) addrs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.logs))
+	for addr, l := range s.logs {
+		if len(l.hints) > 0 {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *hintStore) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, l := range s.logs {
+		if l.f != nil {
+			if err := l.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			l.f = nil
+		}
+	}
+	return first
+}
+
+// hintHeader encodes the file header for addr.
+func hintHeader(addr string) []byte {
+	buf := make([]byte, 0, 12+len(addr))
+	buf = append(buf, hintMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, hintVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(addr)))
+	return append(buf, addr...)
+}
+
+// appendHintFrame appends h's CRC frame to buf.
+func appendHintFrame(buf []byte, h hint) []byte {
+	body := make([]byte, 0, 8+1+4+len(h.name)+4+len(h.data))
+	body = binary.LittleEndian.AppendUint64(body, uint64(h.expires))
+	body = append(body, h.op)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(h.name)))
+	body = append(body, h.name...)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(h.data)))
+	body = append(body, h.data...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	return append(buf, body...)
+}
+
+// scanHintFile reads one hint file, returning the backend address from
+// its header, the decoded hints, and the byte offset of the end of the
+// valid prefix. A short or corrupt frame ends the scan cleanly (torn
+// tail); a bad magic or version is a hard error — the file is not a
+// hint log.
+func scanHintFile(path string) (addr string, hints []hint, validEnd int64, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("cluster: hints: %w", err)
+	}
+	if len(raw) < 12 || string(raw[0:4]) != hintMagic {
+		return "", nil, 0, fmt.Errorf("cluster: hints: %s: bad magic", path)
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != hintVersion {
+		return "", nil, 0, fmt.Errorf("cluster: hints: %s: unsupported version %d", path, v)
+	}
+	addrLen := int(binary.LittleEndian.Uint32(raw[8:12]))
+	if addrLen <= 0 || 12+addrLen > len(raw) {
+		return "", nil, 0, fmt.Errorf("cluster: hints: %s: corrupt header", path)
+	}
+	addr = string(raw[12 : 12+addrLen])
+	off := int64(12 + addrLen)
+	validEnd = off
+	for {
+		if int64(len(raw))-off < 8 {
+			return addr, hints, validEnd, nil
+		}
+		bodyLen := int64(binary.LittleEndian.Uint32(raw[off : off+4]))
+		crc := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+		if bodyLen > hintMaxBody || off+8+bodyLen > int64(len(raw)) {
+			return addr, hints, validEnd, nil
+		}
+		body := raw[off+8 : off+8+bodyLen]
+		if crc32.ChecksumIEEE(body) != crc {
+			return addr, hints, validEnd, nil
+		}
+		h, ok := decodeHintBody(body)
+		if !ok {
+			return addr, hints, validEnd, nil
+		}
+		hints = append(hints, h)
+		off += 8 + bodyLen
+		validEnd = off
+	}
+}
+
+func decodeHintBody(body []byte) (hint, bool) {
+	if len(body) < 8+1+4 {
+		return hint{}, false
+	}
+	var h hint
+	h.expires = int64(binary.LittleEndian.Uint64(body[0:8]))
+	h.op = body[8]
+	if h.op != hintOpAdd && h.op != hintOpDelete {
+		return hint{}, false
+	}
+	nameLen := int(binary.LittleEndian.Uint32(body[9:13]))
+	if nameLen < 0 || 13+nameLen+4 > len(body) {
+		return hint{}, false
+	}
+	h.name = string(body[13 : 13+nameLen])
+	dataLen := int(binary.LittleEndian.Uint32(body[13+nameLen : 17+nameLen]))
+	if dataLen < 0 || 17+nameLen+dataLen != len(body) {
+		return hint{}, false
+	}
+	h.data = string(body[17+nameLen : 17+nameLen+dataLen])
+	return h, h.name != ""
+}
+
+// hintLoop is the background drainer: every HintInterval — or sooner,
+// when the health checker kicks it on a down->up transition — it
+// replays pending hints to every backend currently marked up.
+func (c *Coordinator) hintLoop() {
+	t := time.NewTicker(c.cfg.HintInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		case <-c.hintKick:
+		}
+		c.drainHints(context.Background())
+	}
+}
+
+// kickHintDrain nudges the drainer without blocking; coalescing into
+// one buffered token is fine — the drainer scans every backend.
+func (c *Coordinator) kickHintDrain() {
+	select {
+	case c.hintKick <- struct{}{}:
+	default:
+	}
+}
+
+// drainHints replays pending hints to every up backend. Down backends
+// keep their queues; a replay failure stops that backend's drain (the
+// next pass retries from the failure point, order preserved).
+func (c *Coordinator) drainHints(ctx context.Context) {
+	for _, addr := range c.hints.addrs() {
+		b := c.lookup(addr)
+		if b == nil {
+			// The backend left the ring while hints were queued.
+			c.hints.dropBackend(addr)
+			continue
+		}
+		if !b.up.Load() {
+			continue
+		}
+		c.drainBackendHints(ctx, b)
+	}
+}
+
+// drainBackendHints replays b's hint queue in order: expired hints are
+// counted and skipped, live ones are re-sent as ordinary ingest or
+// delete calls (both idempotent). The disposed prefix is committed
+// even when a replay fails partway, so progress survives flapping.
+func (c *Coordinator) drainBackendHints(ctx context.Context, b *backend) {
+	pending := c.hints.take(b.addr)
+	if len(pending) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	done := 0
+	var replayed, expired int64
+	for _, h := range pending {
+		if h.expires != 0 && h.expires < now {
+			expired++
+			done++
+			continue
+		}
+		if err := c.replayHint(ctx, b, h); err != nil {
+			c.logf("hint replay to %s stalled after %d/%d: %v", b.addr, done, len(pending), err)
+			break
+		}
+		replayed++
+		done++
+	}
+	c.hints.replayed.Add(replayed)
+	c.hints.expired.Add(expired)
+	if err := c.hints.commit(b.addr, done); err != nil {
+		c.logf("hint commit for %s: %v", b.addr, err)
+	}
+	if replayed > 0 {
+		c.logf("replayed %d hints to %s (%d expired, %d still pending)",
+			replayed, b.addr, expired, c.hints.depthFor(b.addr))
+	}
+}
+
+// replayHint re-issues one missed write against b.
+func (c *Coordinator) replayHint(ctx context.Context, b *backend, h hint) error {
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.FanoutTimeout)
+	defer cancel()
+	switch h.op {
+	case hintOpDelete:
+		err := c.client.do(cctx, b, "DELETE", "/v1/records/"+url.PathEscape(h.name), nil, nil)
+		var berr *BackendError
+		if err != nil && errors.As(err, &berr) && berr.Status == http.StatusNotFound {
+			// Already gone (or never arrived): the tombstone's goal holds.
+			return nil
+		}
+		return err
+	default:
+		req := server.IngestRequest{Records: []server.IngestRecord{{Name: h.name, Data: h.data}}}
+		return c.client.do(cctx, b, "POST", "/v1/records", &req, nil)
+	}
+}

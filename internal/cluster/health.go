@@ -2,13 +2,19 @@ package cluster
 
 import (
 	"context"
+	"math/rand"
 	"time"
 )
 
-// healthLoop probes every backend's /healthz each interval until ctx
-// is canceled. Probes run sequentially — the fleet is small and a
-// sequential sweep keeps the checker to one goroutine — with each
-// probe bounded by the fan-out timeout.
+// healthLoop probes backends' /healthz until ctx is canceled. The loop
+// ticks at HealthInterval, but each backend carries its own reprobe
+// deadline: a backend that keeps failing probes has its interval
+// doubled (with jitter, capped at MaxProbeInterval), so a dead backend
+// costs one connection attempt every backoff period instead of every
+// tick, and a fleet of coordinators restarting together does not
+// reprobe in lockstep. Probes run sequentially — the fleet is small
+// and a sequential sweep keeps the checker to one goroutine — with
+// each probe bounded by the fan-out timeout.
 func (c *Coordinator) healthLoop(ctx context.Context) {
 	t := time.NewTicker(c.cfg.HealthInterval)
 	defer t.Stop()
@@ -17,7 +23,11 @@ func (c *Coordinator) healthLoop(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			for _, b := range c.backends {
+			now := time.Now()
+			for _, b := range c.backendList() {
+				if now.Before(b.nextProbe) {
+					continue
+				}
 				c.probe(ctx, b)
 			}
 		}
@@ -38,18 +48,24 @@ func (c *Coordinator) probe(ctx context.Context, b *backend) {
 // observeProbe feeds one probe outcome into b's hysteresis: a backend
 // is marked down only after DownAfter consecutive failures and back up
 // only after UpAfter consecutive successes, so a single dropped probe
-// (GC pause, stolen CPU) never flaps the ring. Only the health loop
-// calls this, so the consecutive counters need no synchronization; the
-// up flag itself is atomic because every request path reads it.
+// (GC pause, stolen CPU) never flaps the ring. A down->up transition
+// kicks the hint drainer — the moment a backend recovers is exactly
+// when its queued writes should replay. Only the health loop calls
+// this, so the consecutive counters and the reprobe schedule need no
+// synchronization; the up flag and current interval are atomic because
+// request paths and /stats read them.
 func (c *Coordinator) observeProbe(b *backend, ok bool) {
 	if ok {
 		b.consecFails = 0
 		b.consecOKs++
+		b.probeInterval.Store(int64(c.baseProbeInterval()))
+		b.nextProbe = time.Time{}
 		if !b.up.Load() && b.consecOKs >= c.cfg.UpAfter {
 			b.up.Store(true)
 			b.downSince.Store(0)
 			b.transitions.Add(1)
 			c.logf("backend %s is up", b.addr)
+			c.kickHintDrain()
 		}
 		return
 	}
@@ -61,4 +77,34 @@ func (c *Coordinator) observeProbe(b *backend, ok bool) {
 		b.transitions.Add(1)
 		c.logf("backend %s is down after %d consecutive probe failures", b.addr, b.consecFails)
 	}
+	if !b.up.Load() {
+		b.scheduleReprobe(c.baseProbeInterval(), c.cfg.MaxProbeInterval)
+	}
+}
+
+// baseProbeInterval is the healthy-backend probe cadence. Hand-driven
+// tests configure a negative HealthInterval; backoff math still needs
+// a positive base then.
+func (c *Coordinator) baseProbeInterval() time.Duration {
+	if c.cfg.HealthInterval > 0 {
+		return c.cfg.HealthInterval
+	}
+	return DefaultHealthInterval
+}
+
+// scheduleReprobe doubles b's reprobe interval (starting from base,
+// capped at max) and sets the next probe deadline with +-20% jitter.
+// The stored interval is the nominal, unjittered one so /stats shows a
+// stable number.
+func (b *backend) scheduleReprobe(base, max time.Duration) {
+	next := time.Duration(b.probeInterval.Load()) * 2
+	if next < base {
+		next = base
+	}
+	if next > max {
+		next = max
+	}
+	b.probeInterval.Store(int64(next))
+	jittered := time.Duration(float64(next) * (0.8 + 0.4*rand.Float64()))
+	b.nextProbe = time.Now().Add(jittered)
 }

@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"slices"
+
+	"sketchengine/internal/server"
+)
+
+// Elastic membership: POST /v1/admin/join adds a backend to the ring,
+// POST /v1/admin/drain removes one — both without ever violating the
+// replication invariant (every record on exactly Replication replicas
+// of the *committed* ring). The protocol:
+//
+//  1. Compute the target ring. Writes arriving during the migration go
+//     to the union of old-ring and target-ring replica sets, with the
+//     quorum still counted on the old (authoritative) set — so no
+//     record written mid-migration can miss its new home.
+//  2. Stream: enumerate every old-ring backend's corpus and copy each
+//     record whose target replica set gained members to those members
+//     (pre-sketched, via /v1/admin/replicate). Any failure aborts the
+//     whole operation with the old ring intact; the stream is
+//     idempotent, so a retry resumes the work for free.
+//  3. Commit the ring swap under the membership lock. Only now does
+//     placement change.
+//  4. Join only: best-effort delete the copies the swap stranded
+//     outside their replica sets (rendezvous hashing moves each
+//     affected record off exactly one old replica). Leftover strays
+//     are harmless to reads (search dedups) and the sweep removes
+//     them. A drain needs no cleanup: removal never remaps records
+//     that were not on the drained backend, so the survivors' copies
+//     are exactly the target placement.
+const (
+	// CodeRebalanceBusy (409): another join/drain is streaming.
+	CodeRebalanceBusy = "rebalance_busy"
+	// CodeRebalanceFailed (502): the streaming phase could not complete;
+	// the ring is unchanged and the request can be retried.
+	CodeRebalanceFailed = "rebalance_failed"
+
+	// rebalanceBatch is how many record copies are shipped per
+	// replicate call during a stream.
+	rebalanceBatch = 128
+)
+
+// JoinRequest is the body of POST /v1/admin/join.
+type JoinRequest struct {
+	Backend string `json:"backend"`
+}
+
+// DrainRequest is the body of POST /v1/admin/drain.
+type DrainRequest struct {
+	Backend string `json:"backend"`
+}
+
+// RebalanceResponse reports a committed join or drain.
+type RebalanceResponse struct {
+	Action      string   `json:"action"` // "join" or "drain"
+	Backend     string   `json:"backend"`
+	Backends    []string `json:"backends"` // committed ring membership
+	Replication int      `json:"replication"`
+	// Examined is the records the stream enumerated; Moved is how many
+	// had a changed replica set; Copied is the copies written.
+	Examined int `json:"examined"`
+	Moved    int `json:"moved"`
+	Copied   int `json:"copied"`
+	// Cleaned counts stale copies deleted after a join's commit.
+	Cleaned int `json:"cleaned,omitempty"`
+	// Skipped lists backends that could not be enumerated (tolerated up
+	// to replication-1 of them: every record still has a reachable
+	// replica to stream from).
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Backend == "" {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, "join: backend address is required")
+		return
+	}
+	if !c.rebalanceMu.TryLock() {
+		server.WriteError(w, http.StatusConflict, CodeRebalanceBusy, "join: another membership change is in progress")
+		return
+	}
+	defer c.rebalanceMu.Unlock()
+
+	old, _ := c.rings()
+	if slices.Contains(old.Backends(), req.Backend) {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest,
+			fmt.Sprintf("join: backend %s is already in the ring", req.Backend))
+		return
+	}
+	target, err := NewRing(append(slices.Clone(old.Backends()), req.Backend), c.cfg.Replication)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, fmt.Sprintf("join: %v", err))
+		return
+	}
+	nb := newBackend(req.Backend)
+	pctx, cancel := context.WithTimeout(r.Context(), c.cfg.FanoutTimeout)
+	err = c.client.do(pctx, nb, "GET", "/healthz", nil, nil)
+	cancel()
+	if err != nil {
+		server.WriteError(w, http.StatusBadGateway, CodeBackendDown,
+			fmt.Sprintf("join: backend %s failed its admission probe: %v", req.Backend, err))
+		return
+	}
+
+	// Register the joiner and the target ring: from here, writes use
+	// union placement and the fleet (health, search fan-out) sees the
+	// new backend.
+	c.mu.Lock()
+	c.backends = append(slices.Clone(c.backends), nb)
+	c.byAddr[req.Backend] = nb
+	c.next = target
+	c.mu.Unlock()
+	c.metrics.rebalanceActive.Store(true)
+	defer c.metrics.rebalanceActive.Store(false)
+
+	st, err := c.streamRebalance(r.Context(), old, target)
+	if err != nil {
+		// Roll back: drop the joiner, keep the old ring. Copies already
+		// streamed are strays the sweep (or a retried join) handles.
+		c.mu.Lock()
+		c.next = nil
+		c.backends = withoutBackend(c.backends, nb)
+		delete(c.byAddr, req.Backend)
+		c.mu.Unlock()
+		c.metrics.rebalanceFailures.Add(1)
+		server.WriteError(w, http.StatusBadGateway, CodeRebalanceFailed, fmt.Sprintf("join %s: %v", req.Backend, err))
+		return
+	}
+
+	c.mu.Lock()
+	c.ring = target
+	c.next = nil
+	c.mu.Unlock()
+	c.metrics.joins.Add(1)
+	c.metrics.rebalanceMoved.Add(int64(st.moved))
+	c.metrics.rebalanceCopied.Add(int64(st.copied))
+
+	// Post-commit cleanup: each moved record left one copy behind on
+	// the replica the joiner displaced. Best-effort — a failure leaves
+	// a harmless stray for the sweep.
+	cleaned := 0
+	for name, addrs := range st.cleanup {
+		for _, addr := range addrs {
+			b := c.lookup(addr)
+			if b == nil {
+				continue
+			}
+			cctx, cancel := context.WithTimeout(r.Context(), c.cfg.FanoutTimeout)
+			err := c.client.do(cctx, b, "DELETE", "/v1/records/"+url.PathEscape(name), nil, nil)
+			cancel()
+			if err == nil || isNotFound(err) {
+				cleaned++
+			}
+		}
+	}
+	c.logf("join %s committed: %d/%d records moved, %d copies streamed, %d stale copies cleaned",
+		req.Backend, st.moved, st.examined, st.copied, cleaned)
+	server.WriteJSON(w, http.StatusOK, RebalanceResponse{
+		Action:      "join",
+		Backend:     req.Backend,
+		Backends:    target.Backends(),
+		Replication: c.cfg.Replication,
+		Examined:    st.examined,
+		Moved:       st.moved,
+		Copied:      st.copied,
+		Cleaned:     cleaned,
+		Skipped:     st.skipped,
+	})
+}
+
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req DrainRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Backend == "" {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, "drain: backend address is required")
+		return
+	}
+	if !c.rebalanceMu.TryLock() {
+		server.WriteError(w, http.StatusConflict, CodeRebalanceBusy, "drain: another membership change is in progress")
+		return
+	}
+	defer c.rebalanceMu.Unlock()
+
+	old, _ := c.rings()
+	if !slices.Contains(old.Backends(), req.Backend) {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest,
+			fmt.Sprintf("drain: backend %s is not in the ring", req.Backend))
+		return
+	}
+	remaining := slices.DeleteFunc(slices.Clone(old.Backends()), func(a string) bool { return a == req.Backend })
+	target, err := NewRing(remaining, c.cfg.Replication)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest,
+			fmt.Sprintf("drain: %d remaining backends cannot hold replication %d", len(remaining), c.cfg.Replication))
+		return
+	}
+
+	c.mu.Lock()
+	c.next = target
+	c.mu.Unlock()
+	c.metrics.rebalanceActive.Store(true)
+	defer c.metrics.rebalanceActive.Store(false)
+
+	st, err := c.streamRebalance(r.Context(), old, target)
+	if err != nil {
+		c.mu.Lock()
+		c.next = nil
+		c.mu.Unlock()
+		c.metrics.rebalanceFailures.Add(1)
+		server.WriteError(w, http.StatusBadGateway, CodeRebalanceFailed, fmt.Sprintf("drain %s: %v", req.Backend, err))
+		return
+	}
+
+	// Commit: swap the ring and retire the backend. Its pending hints
+	// can never be delivered to a ring member again, so they are
+	// dropped (counted), and its copies leave the fleet with it —
+	// rendezvous removal means the survivors already hold exactly the
+	// target placement.
+	var drained *backend
+	c.mu.Lock()
+	c.ring = target
+	c.next = nil
+	drained = c.byAddr[req.Backend]
+	if drained != nil {
+		c.backends = withoutBackend(c.backends, drained)
+		delete(c.byAddr, req.Backend)
+	}
+	c.mu.Unlock()
+	c.hints.dropBackend(req.Backend)
+	c.metrics.drains.Add(1)
+	c.metrics.rebalanceMoved.Add(int64(st.moved))
+	c.metrics.rebalanceCopied.Add(int64(st.copied))
+	c.logf("drain %s committed: %d/%d records moved, %d copies streamed",
+		req.Backend, st.moved, st.examined, st.copied)
+	server.WriteJSON(w, http.StatusOK, RebalanceResponse{
+		Action:      "drain",
+		Backend:     req.Backend,
+		Backends:    target.Backends(),
+		Replication: c.cfg.Replication,
+		Examined:    st.examined,
+		Moved:       st.moved,
+		Copied:      st.copied,
+		Skipped:     st.skipped,
+	})
+}
+
+// rebalanceStats is what one streaming pass accomplished.
+type rebalanceStats struct {
+	examined int
+	moved    int
+	copied   int
+	skipped  []string
+	// cleanup maps moved record names to the old-ring replicas their
+	// move stranded (join only; populated for the post-commit delete).
+	cleanup map[string][]string
+}
+
+// streamRebalance copies every record whose replica set differs
+// between old and target to its new replicas. Enumeration failures are
+// tolerated up to replication-1 backends — each record has replication
+// copies on the old ring, so that many unreachable backends still
+// leave every record enumerable somewhere. Copy failures are fatal:
+// a record that cannot reach its new home would break the invariant
+// the commit is about to assert.
+func (c *Coordinator) streamRebalance(ctx context.Context, old, target *Ring) (*rebalanceStats, error) {
+	st := &rebalanceStats{cleanup: make(map[string][]string)}
+	seen := make(map[string]struct{})
+	pending := make(map[string][]server.ReplicaRecord) // destination -> buffered copies
+
+	flush := func(addr string) error {
+		recs := pending[addr]
+		if len(recs) == 0 {
+			return nil
+		}
+		b := c.lookup(addr)
+		if b == nil {
+			return fmt.Errorf("destination %s left the fleet mid-stream", addr)
+		}
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.FanoutTimeout)
+		err := c.client.do(cctx, b, "POST", "/v1/admin/replicate", &server.ReplicateRequest{Records: recs}, nil)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("streaming %d records to %s: %w", len(recs), addr, err)
+		}
+		st.copied += len(recs)
+		pending[addr] = pending[addr][:0]
+		return nil
+	}
+
+	for _, src := range old.Backends() {
+		b := c.lookup(src)
+		if b == nil {
+			continue
+		}
+		var flushErr error
+		err := c.enumerateBackend(ctx, b, func(rec server.ReplicaRecord) {
+			if flushErr != nil {
+				return
+			}
+			if _, dup := seen[rec.Name]; dup {
+				return
+			}
+			seen[rec.Name] = struct{}{}
+			st.examined++
+			oldSet := old.Replicas(rec.Name)
+			newSet := target.Replicas(rec.Name)
+			movedHere := false
+			for _, dst := range newSet {
+				if !slices.Contains(oldSet, dst) {
+					movedHere = true
+					pending[dst] = append(pending[dst], rec)
+					if len(pending[dst]) >= rebalanceBatch {
+						flushErr = flush(dst)
+					}
+				}
+			}
+			if !movedHere {
+				return
+			}
+			st.moved++
+			for _, stray := range oldSet {
+				if !slices.Contains(newSet, stray) {
+					st.cleanup[rec.Name] = append(st.cleanup[rec.Name], stray)
+				}
+			}
+		})
+		if flushErr != nil {
+			return st, flushErr
+		}
+		if err != nil {
+			st.skipped = append(st.skipped, src)
+			if len(st.skipped) >= old.Replication() {
+				return st, fmt.Errorf("%d backends failed enumeration (replication %d — records may be invisible to the stream): last: %s: %v",
+					len(st.skipped), old.Replication(), src, err)
+			}
+			c.logf("rebalance: enumeration of %s failed (%v); its records stream from their other replicas", src, err)
+			continue
+		}
+	}
+	for addr := range pending {
+		if err := flush(addr); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// withoutBackend returns the list minus b, leaving the input intact —
+// snapshots handed out under RLock keep iterating the old array.
+func withoutBackend(list []*backend, b *backend) []*backend {
+	out := make([]*backend, 0, len(list))
+	for _, x := range list {
+		if x != b {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
 	"sketchengine/internal/server"
 )
@@ -20,7 +21,37 @@ const (
 	// CodeQuorumFailed: a write reached fewer than quorum replicas for
 	// at least one record; the envelope's Records list names them.
 	CodeQuorumFailed = "quorum_failed"
+	// CodeRebucketFailed: the coordinator could not apply a rebucket on
+	// every backend; the envelope's Records list names the failures by
+	// backend address.
+	CodeRebucketFailed = "rebucket_failed"
 )
+
+// placementFor returns name's write set: the authoritative (old-ring)
+// replicas, plus — while a join/drain streams — the extra replicas the
+// target ring adds, so a mid-migration write can never miss its new
+// home. Quorum is counted on the authoritative set only.
+func (c *Coordinator) placementFor(ring, next *Ring, name string) (primary, extras []string) {
+	primary = ring.Replicas(name)
+	if next == nil {
+		return primary, nil
+	}
+	for _, addr := range next.Replicas(name) {
+		if !contains(primary, addr) {
+			extras = append(extras, addr)
+		}
+	}
+	return primary, extras
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
 
 // handleIngest fans one ingest batch out by replica set: each backend
 // receives a single sub-batch holding every record it replicates, so a
@@ -29,7 +60,9 @@ const (
 // quorum (majority) of its replicas acked its sub-batch; records below
 // quorum are reported individually in a quorum_failed envelope. Acked
 // records are durable on every replica that succeeded — a quorum
-// failure never rolls anything back.
+// failure never rolls anything back. Replicas that missed an acked
+// record get a hinted handoff: the drainer replays the write once the
+// backend is healthy again.
 func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 	c.metrics.ingestRequests.Add(1)
 	var req server.IngestRequest
@@ -55,7 +88,7 @@ func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 	// Group records into one sub-batch per backend. Writes go to every
 	// replica regardless of health state: the probe view may lag, and a
-	// down replica simply counts as a failed ack.
+	// down replica simply counts as a failed ack (and earns a hint).
 	type subBatch struct {
 		b    *backend
 		pos  map[int]int // request record index -> index in req.Records slice
@@ -63,23 +96,29 @@ func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 		resp server.IngestResponse
 		err  error
 	}
+	ring, next := c.rings()
 	batches := make(map[string]*subBatch)
-	replicas := make([][]string, len(req.Records))
-	var scratch []string
-	for i, rec := range req.Records {
-		scratch = c.ring.ReplicasAppend(scratch[:0], rec.Name)
-		replicas[i] = append([]string(nil), scratch...)
-		for _, addr := range scratch {
-			sb, ok := batches[addr]
-			if !ok {
-				sb = &subBatch{b: c.byAddr[addr], pos: make(map[int]int)}
-				sb.req.Detailed = true
-				batches[addr] = sb
-			}
-			sb.pos[i] = len(sb.req.Records)
-			sb.req.Records = append(sb.req.Records, rec)
+	replicas := make([][]string, len(req.Records)) // authoritative set per record
+	extras := make([][]string, len(req.Records))   // migration-target additions
+	addTo := func(i int, rec server.IngestRecord, addr string) {
+		sb, ok := batches[addr]
+		if !ok {
+			sb = &subBatch{b: c.lookup(addr), pos: make(map[int]int)}
+			sb.req.Detailed = true
+			batches[addr] = sb
 		}
-		c.metrics.recordsRouted.Add(int64(len(scratch)))
+		sb.pos[i] = len(sb.req.Records)
+		sb.req.Records = append(sb.req.Records, rec)
+	}
+	for i, rec := range req.Records {
+		replicas[i], extras[i] = c.placementFor(ring, next, rec.Name)
+		for _, addr := range replicas[i] {
+			addTo(i, rec, addr)
+		}
+		for _, addr := range extras[i] {
+			addTo(i, rec, addr)
+		}
+		c.metrics.recordsRouted.Add(int64(len(replicas[i]) + len(extras[i])))
 	}
 
 	var wg sync.WaitGroup
@@ -102,13 +141,17 @@ func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 	quorum := c.quorum()
 	resp := server.IngestResponse{Received: len(req.Records)}
 	var failures []server.RecordError
+	hintsByAddr := make(map[string][]hint)
+	expires := time.Now().Add(c.cfg.HintTTL).UnixNano()
 	for i, rec := range req.Records {
 		acks, added := 0, false
 		var replicaErrs []string
+		var missed []string
 		for _, addr := range replicas[i] {
 			sb := batches[addr]
 			if sb.err != nil {
 				replicaErrs = append(replicaErrs, sb.err.Error())
+				missed = append(missed, addr)
 				continue
 			}
 			acks++
@@ -125,6 +168,17 @@ func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 			})
 			continue
 		}
+		// The record is acked. Queue a hint for every replica that
+		// missed it — authoritative or migration-target — so the write
+		// catches up with the backend instead of waiting for a sweep.
+		for _, addr := range extras[i] {
+			if batches[addr].err != nil {
+				missed = append(missed, addr)
+			}
+		}
+		for _, addr := range missed {
+			hintsByAddr[addr] = append(hintsByAddr[addr], hint{op: hintOpAdd, name: rec.Name, data: rec.Data, expires: expires})
+		}
 		// A record counts as added if any acking replica had not seen the
 		// name before; replicas disagree only after a past partial write,
 		// and "added somewhere" is the honest summary then.
@@ -134,6 +188,7 @@ func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 			resp.Skipped++
 		}
 	}
+	c.queueHints(hintsByAddr)
 	if len(failures) > 0 {
 		c.metrics.quorumFailures.Add(int64(len(failures)))
 		server.WriteErrorDetail(w, http.StatusBadGateway, server.ErrorDetail{
@@ -161,56 +216,97 @@ func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 	server.WriteJSON(w, http.StatusOK, resp)
 }
 
+// queueHints enqueues one request's hints, one durable append per
+// backend. Enqueue failures only cost convergence speed (the sweep is
+// the backstop), so they are logged, never surfaced to the writer —
+// its quorum already held.
+func (c *Coordinator) queueHints(byAddr map[string][]hint) {
+	for addr, hs := range byAddr {
+		if err := c.hints.enqueue(addr, hs...); err != nil {
+			c.logf("hint enqueue for %s: %v", addr, err)
+		}
+	}
+}
+
 // handleDeleteRecord routes a delete to the record's replica set. The
 // outcome follows the same quorum rule as ingest: with a majority of
 // replicas responding, at least one 200 means deleted and unanimous
 // 404s mean the record was never indexed; below quorum the truth is
-// unknowable and the client gets quorum_failed.
+// unknowable and the client gets quorum_failed with the record
+// itemized, exactly like a failed ingest. Replicas that missed an
+// acknowledged delete get a tombstone hint.
 func (c *Coordinator) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	replicas := c.ring.Replicas(name)
+	ring, next := c.rings()
+	primary, extras := c.placementFor(ring, next, name)
+	targets := append(append([]string(nil), primary...), extras...)
 	type result struct {
 		addr string
 		err  error
 	}
-	results := make([]result, len(replicas))
+	results := make([]result, len(targets))
 	var wg sync.WaitGroup
-	for i, addr := range replicas {
+	for i, addr := range targets {
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(r.Context(), c.cfg.FanoutTimeout)
 			defer cancel()
 			results[i] = result{addr: b.addr, err: c.client.do(ctx, b, "DELETE", "/v1/records/"+url.PathEscape(name), nil, nil)}
-		}(i, c.byAddr[addr])
+		}(i, c.lookup(addr))
 	}
 	wg.Wait()
 
 	deleted, notFound := 0, 0
 	var replicaErrs []string
-	for _, res := range results {
+	var missed []string
+	for i, res := range results {
+		authoritative := i < len(primary)
 		var berr *BackendError
 		switch {
 		case res.err == nil:
-			deleted++
+			if authoritative {
+				deleted++
+			}
 		case errors.As(res.err, &berr) && berr.Status == http.StatusNotFound:
-			notFound++
+			if authoritative {
+				notFound++
+			}
 		default:
-			replicaErrs = append(replicaErrs, res.err.Error())
+			if authoritative {
+				replicaErrs = append(replicaErrs, res.err.Error())
+			}
+			missed = append(missed, res.addr)
 		}
 	}
 	if deleted+notFound < c.quorum() {
 		c.metrics.quorumFailures.Add(1)
+		msg := fmt.Sprintf("%d/%d replicas responded (need %d): %s",
+			deleted+notFound, len(primary), c.quorum(), strings.Join(replicaErrs, "; "))
 		server.WriteErrorDetail(w, http.StatusBadGateway, server.ErrorDetail{
-			Code: CodeQuorumFailed,
-			Message: fmt.Sprintf("delete %q: %d/%d replicas responded (need %d): %s",
-				name, deleted+notFound, len(replicas), c.quorum(), strings.Join(replicaErrs, "; ")),
+			Code:    CodeQuorumFailed,
+			Message: fmt.Sprintf("delete %q: %s", name, msg),
+			Records: []server.RecordError{{Name: name, Code: CodeBackendDown, Message: msg}},
 		})
 		return
 	}
 	if deleted == 0 {
 		server.WriteError(w, http.StatusNotFound, server.CodeNotFound, fmt.Sprintf("record %q is not indexed", name))
 		return
+	}
+	// The delete is acknowledged: hint the tombstone to every replica
+	// that missed it so it cannot resurrect the record on recovery.
+	if len(missed) > 0 {
+		expires := time.Now().Add(c.cfg.HintTTL).UnixNano()
+		hs := make([]hint, 0, len(missed))
+		for range missed {
+			hs = append(hs, hint{op: hintOpDelete, name: name, expires: expires})
+		}
+		byAddr := make(map[string][]hint, len(missed))
+		for i, addr := range missed {
+			byAddr[addr] = append(byAddr[addr], hs[i])
+		}
+		c.queueHints(byAddr)
 	}
 	c.metrics.deletes.Add(1)
 	server.WriteJSON(w, http.StatusOK, server.DeleteResponse{Deleted: name})
@@ -219,18 +315,28 @@ func (c *Coordinator) handleDeleteRecord(w http.ResponseWriter, r *http.Request)
 // handleGetRecord tries the record's replicas in ring order and
 // returns the first hit. A 404 from one replica is not authoritative —
 // it may have missed a quorum write the others took — so the lookup
-// only reports not_found after every replica has answered 404.
+// only reports not_found after every replica has answered 404. A hit
+// found after another replica 404ed is replica disagreement: the name
+// goes to the read-repair queue.
 func (c *Coordinator) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	ring, next := c.rings()
+	primary, extras := c.placementFor(ring, next, name)
 	saw404 := false
 	var lastErr error
-	for _, addr := range c.ring.Replicas(name) {
-		b := c.byAddr[addr]
+	for _, addr := range append(append([]string(nil), primary...), extras...) {
+		b := c.lookup(addr)
+		if b == nil {
+			continue
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.FanoutTimeout)
 		var rec server.RecordResponse
 		err := c.client.do(ctx, b, "GET", "/v1/records/"+url.PathEscape(name), nil, &rec)
 		cancel()
 		if err == nil {
+			if saw404 {
+				c.repairs.offer(name)
+			}
 			server.WriteJSON(w, http.StatusOK, rec)
 			return
 		}
@@ -247,6 +353,67 @@ func (c *Coordinator) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 	}
 	server.WriteError(w, http.StatusBadGateway, CodeBackendDown,
 		fmt.Sprintf("record %q: no replica could answer: %v", name, lastErr))
+}
+
+// handleRebucket fans a rebucket out to every backend: a banding
+// scheme is a fleet-wide property — backends disagreeing on bands
+// would make per-backend LSH recall uneven — so the call succeeds only
+// when every backend applied it. Failures are itemized per backend in
+// the envelope, addressed by backend address.
+func (c *Coordinator) handleRebucket(w http.ResponseWriter, r *http.Request) {
+	var req server.RebucketRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	backends := c.backendList()
+	type result struct {
+		b    *backend
+		resp server.RebucketResponse
+		err  error
+	}
+	results := make([]result, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), c.cfg.FanoutTimeout)
+			defer cancel()
+			results[i] = result{b: b}
+			results[i].err = c.client.do(ctx, b, "POST", "/v1/admin/rebucket", &req, &results[i].resp)
+		}(i, b)
+	}
+	wg.Wait()
+
+	var failures []server.RecordError
+	agg := server.RebucketResponse{}
+	applied := false
+	for _, res := range results {
+		if res.err != nil {
+			code := CodeBackendDown
+			var berr *BackendError
+			if errors.As(res.err, &berr) && berr.Code != "" {
+				code = berr.Code
+			}
+			failures = append(failures, server.RecordError{Name: res.b.addr, Code: code, Message: res.err.Error()})
+			continue
+		}
+		if !applied {
+			agg.Bands, agg.RowsPerBand, agg.Shards = res.resp.Bands, res.resp.RowsPerBand, res.resp.Shards
+			applied = true
+		}
+		agg.Records += res.resp.Records
+	}
+	if len(failures) > 0 {
+		server.WriteErrorDetail(w, http.StatusBadGateway, server.ErrorDetail{
+			Code: CodeRebucketFailed,
+			Message: fmt.Sprintf("rebucket: %d of %d backends failed; backends not listed have applied the new scheme",
+				len(failures), len(backends)),
+			Records: failures,
+		})
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, agg)
 }
 
 // decodeBody mirrors the single-node server's body handling: size cap,

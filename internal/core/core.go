@@ -8,7 +8,7 @@ import (
 
 // Version identifies the engine build. It is reported by the CLI and
 // stamped into saved index metadata.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // Options configures an Engine. Zero values fall back to the package
 // defaults (DefaultK, DefaultSignatureSize, DefaultScheme sketching,
@@ -237,6 +237,25 @@ func (e *Engine) AddBatchResults(recs []Record) ([]bool, error) {
 	// record's WAL frame is fsynced before the batch is acknowledged —
 	// the group commit that makes batched ingest cheap.
 	return added, e.index.SyncWAL()
+}
+
+// AddSketches inserts pre-built sketches without re-sketching — the
+// replication path, where another node already computed the signatures
+// and ships them over the wire. oks[i] reports whether sketches[i] was
+// newly added (false means the name was already indexed, making
+// replication idempotent). Like AddBatchResults, one WAL group-commit
+// covers the whole batch; on a validation error the flags for sketches
+// inserted before the failure are still meaningful.
+func (e *Engine) AddSketches(sketches []*Sketch) ([]bool, error) {
+	oks := make([]bool, len(sketches))
+	for i, s := range sketches {
+		ok, err := e.index.Add(s)
+		if err != nil {
+			return oks, err
+		}
+		oks[i] = ok
+	}
+	return oks, e.index.SyncWAL()
 }
 
 // Stats is a point-in-time snapshot of engine and index state, exposed

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+)
+
+// ErrCursorGone reports that a pagination cursor names a record that is
+// no longer indexed — the caller's cursor went stale across a delete —
+// so the walk cannot prove where to resume. Restart from the beginning.
+var ErrCursorGone = errors.New("cursor names a record that is no longer indexed")
+
+// DefaultPageSize is the page size Records uses when limit is not
+// positive.
+const DefaultPageSize = 256
+
+// Records returns up to limit record sketches in insertion order,
+// starting after the record named after (empty starts from the
+// beginning), plus the cursor for the next page ("" when the walk is
+// done). The cursor is the name of the last record the page covered,
+// so a paginated walk observes every record that exists for the whole
+// walk exactly once even as concurrent adds append behind it. A cursor
+// whose record has been deleted fails with ErrCursorGone.
+//
+// Sketches are reconstructed from the arena outside the index lock, so
+// a record deleted between the snapshot and the reconstruction is
+// silently skipped — its page may run short, but the next cursor still
+// advances past it.
+func (ix *Index) Records(after string, limit int) ([]*Sketch, string, error) {
+	if limit <= 0 {
+		limit = DefaultPageSize
+	}
+	ix.mu.RLock()
+	start := 0
+	if after != "" {
+		i := slices.Index(ix.order, after)
+		if i < 0 {
+			ix.mu.RUnlock()
+			return nil, "", fmt.Errorf("index %q: %w: %q", ix.meta.Name, ErrCursorGone, after)
+		}
+		start = i + 1
+	}
+	end := min(start+limit, len(ix.order))
+	names := make([]string, end-start)
+	copy(names, ix.order[start:end])
+	more := end < len(ix.order)
+	ix.mu.RUnlock()
+
+	out := make([]*Sketch, 0, len(names))
+	for _, name := range names {
+		if s := ix.Get(name); s != nil {
+			out = append(out, s)
+		}
+	}
+	next := ""
+	if more && len(names) > 0 {
+		next = names[len(names)-1]
+	}
+	return out, next, nil
+}

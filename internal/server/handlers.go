@@ -73,10 +73,44 @@ type SearchResponse struct {
 }
 
 // RecordResponse describes an indexed record (GET /v1/records/{name}).
+// Shingles, Bits, and Signature are populated only when the request
+// asked for them with ?signature=1 — the cluster repair path, which
+// needs the stored sketch, not just existence.
 type RecordResponse struct {
-	Name          string `json:"name"`
-	K             int    `json:"k"`
-	SignatureSize int    `json:"signature_size"`
+	Name          string   `json:"name"`
+	K             int      `json:"k"`
+	SignatureSize int      `json:"signature_size"`
+	Shingles      int      `json:"shingles,omitempty"`
+	Bits          int      `json:"bits,omitempty"`
+	Signature     []uint64 `json:"signature,omitempty"`
+}
+
+// ReplicaRecord is one record in the replication wire format: the
+// stored sketch as-is, so a copy lands byte-identical on the receiver
+// without re-sketching. Bits says how wide the slot values are (64
+// full-width; below that they are the truncated lanes a b-bit index
+// stores, only accepted by an index packed at the same width).
+type ReplicaRecord struct {
+	Name      string   `json:"name"`
+	Shingles  int      `json:"shingles"`
+	Bits      int      `json:"bits,omitempty"`
+	Signature []uint64 `json:"signature"`
+}
+
+// RecordListResponse is one page of GET /v1/records: records in
+// insertion order plus the cursor for the next page (absent on the
+// last page).
+type RecordListResponse struct {
+	Records    []ReplicaRecord `json:"records"`
+	NextCursor string          `json:"next_cursor,omitempty"`
+}
+
+// ReplicateRequest is the body of POST /v1/admin/replicate: pre-built
+// sketches to insert directly, bypassing the sketcher. The response is
+// an IngestResponse; names already indexed count as skipped, which is
+// what makes replays and repair sweeps idempotent.
+type ReplicateRequest struct {
+	Records []ReplicaRecord `json:"records"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -113,6 +147,7 @@ type RequestStats struct {
 type IngestStats struct {
 	Requests       int64 `json:"requests"`
 	RecordsAdded   int64 `json:"records_added"`
+	Replicated     int64 `json:"replicated,omitempty"`
 	Batches        int64 `json:"batches"`
 	BatchedRecords int64 `json:"batched_records"`
 	QueueDepth     int   `json:"queue_depth"`
@@ -178,6 +213,10 @@ const (
 	CodeOverloaded       = "overloaded"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeInternal         = "internal"
+	// CodeCursorGone (410): a GET /v1/records cursor names a record
+	// that has since been deleted, so the walk cannot prove where to
+	// resume. Restart the enumeration from the beginning.
+	CodeCursorGone = "cursor_gone"
 )
 
 // CodeForStatus maps a bare HTTP status (from the routing layer, which
@@ -206,9 +245,11 @@ func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/records", s.timed("ingest", s.handleIngest))
 	mux.HandleFunc("POST /v1/search", s.timed("search", s.handleSearch))
+	mux.HandleFunc("GET /v1/records", s.timed("list_records", s.handleListRecords))
 	mux.HandleFunc("GET /v1/records/{name}", s.timed("get_record", s.handleGetRecord))
 	mux.HandleFunc("DELETE /v1/records/{name}", s.timed("delete_record", s.handleDeleteRecord))
 	mux.HandleFunc("POST /v1/admin/rebucket", s.timed("rebucket", s.handleRebucket))
+	mux.HandleFunc("POST /v1/admin/replicate", s.timed("replicate", s.handleReplicate))
 	mux.HandleFunc("GET /healthz", s.timed("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /stats", s.timed("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.timed("metrics", s.handleMetrics))
@@ -326,6 +367,25 @@ var (
 func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	ix := s.eng.Index()
+	meta := ix.Metadata()
+	if v := r.URL.Query().Get("signature"); v == "1" || v == "true" {
+		// The repair path wants the stored sketch, so pay for the arena
+		// reconstruction.
+		sk := ix.Get(name)
+		if sk == nil {
+			WriteError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("record %q is not indexed", name))
+			return
+		}
+		WriteJSON(w, http.StatusOK, RecordResponse{
+			Name:          name,
+			K:             meta.K,
+			SignatureSize: meta.SignatureSize,
+			Shingles:      sk.Shingles,
+			Bits:          sk.Bits,
+			Signature:     sk.Signature,
+		})
+		return
+	}
 	// Has instead of Get: the response only carries metadata, and Get
 	// would reconstruct (allocate + unpack) the record's signature from
 	// the packed arena just to throw it away.
@@ -333,11 +393,113 @@ func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("record %q is not indexed", name))
 		return
 	}
-	meta := ix.Metadata()
 	WriteJSON(w, http.StatusOK, RecordResponse{
 		Name:          name,
 		K:             meta.K,
 		SignatureSize: meta.SignatureSize,
+	})
+}
+
+// handleListRecords pages through the corpus in insertion order:
+// GET /v1/records?cursor=<last name>&limit=N. Each page carries the
+// stored sketches in the replication wire format, so a consumer (the
+// cluster rebalancer, a backup tool) can rebuild replicas without
+// re-sketching. An empty next_cursor ends the walk; a cursor that
+// went stale across a delete gets 410 cursor_gone — restart.
+func (s *Server) handleListRecords(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := core.DefaultPageSize
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > s.cfg.MaxBatch {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("list: limit must be in [1, %d], got %q", s.cfg.MaxBatch, v))
+			return
+		}
+		limit = n
+	}
+	sketches, next, err := s.eng.Index().Records(q.Get("cursor"), limit)
+	if err != nil {
+		if errors.Is(err, core.ErrCursorGone) {
+			WriteError(w, http.StatusGone, CodeCursorGone, err.Error())
+			return
+		}
+		WriteError(w, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("list: %v", err))
+		return
+	}
+	// Zero-record pages must encode as "records":[], matching the
+	// ingest/search contract (nil would marshal as null).
+	recs := make([]ReplicaRecord, 0, len(sketches))
+	for _, sk := range sketches {
+		recs = append(recs, ReplicaRecord{
+			Name:      sk.Name,
+			Shingles:  sk.Shingles,
+			Bits:      sk.Bits,
+			Signature: sk.Signature,
+		})
+	}
+	WriteJSON(w, http.StatusOK, RecordListResponse{Records: recs, NextCursor: next})
+}
+
+// handleReplicate inserts pre-built sketches, bypassing the sketcher
+// and the ingest queue: this is how a repaired or rebalanced copy
+// arrives byte-identical to the original. Validation failures (wrong
+// signature size, wrong packing width) are the sender's fault and get
+// 400; a WAL sync failure after an accepted insert is 500 and the
+// batch is not acknowledged.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var req ReplicateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Records) == 0 {
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "replicate: no records in request")
+		return
+	}
+	if len(req.Records) > s.cfg.MaxBatch {
+		WriteError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+			fmt.Sprintf("replicate: batch of %d records exceeds the %d-record limit", len(req.Records), s.cfg.MaxBatch))
+		return
+	}
+	meta := s.eng.Index().Metadata()
+	sketches := make([]*core.Sketch, len(req.Records))
+	for i, rec := range req.Records {
+		if rec.Name == "" {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("replicate: record %d has an empty name", i))
+			return
+		}
+		sketches[i] = &core.Sketch{
+			Name:      rec.Name,
+			K:         meta.K,
+			Shingles:  rec.Shingles,
+			Scheme:    meta.Scheme,
+			Bits:      rec.Bits,
+			Signature: rec.Signature,
+		}
+	}
+	oks, err := s.eng.AddSketches(sketches)
+	added := 0
+	for _, ok := range oks {
+		if ok {
+			added++
+		}
+	}
+	if err != nil {
+		status, code := http.StatusBadRequest, CodeBadRequest
+		if added > 0 {
+			// Inserts landed but the WAL barrier (or a later record) failed:
+			// the batch is not durable as a whole, so refuse the ack the way
+			// ingest does.
+			status, code = http.StatusInternalServerError, CodeInternal
+		}
+		WriteError(w, status, code, fmt.Sprintf("replicate: %v", err))
+		return
+	}
+	s.metrics.replicated.Add(int64(added))
+	WriteJSON(w, http.StatusOK, IngestResponse{
+		Received: len(req.Records),
+		Added:    added,
+		Skipped:  len(req.Records) - added,
 	})
 }
 
@@ -404,6 +566,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Ingest: IngestStats{
 			Requests:       m.ingestRequests.Load(),
 			RecordsAdded:   m.recordsAdded.Load(),
+			Replicated:     m.replicated.Load(),
 			Batches:        m.batches.Load(),
 			BatchedRecords: m.batchedRecords.Load(),
 			QueueDepth:     s.ingest.depth(),

@@ -26,6 +26,7 @@ type metrics struct {
 	rebuckets      atomic.Int64
 	ingestRequests atomic.Int64
 	recordsAdded   atomic.Int64
+	replicated     atomic.Int64 // sketches accepted via /v1/admin/replicate
 	batches        atomic.Int64 // coalesced AddBatch calls
 	batchedRecords atomic.Int64 // records across those calls
 	snapshots      atomic.Int64

@@ -36,6 +36,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("rebuckets_total", "Successful live rebucket operations.", m.rebuckets.Load())
 	counter("ingest_requests_total", "Ingest requests received.", m.ingestRequests.Load())
 	counter("records_added_total", "Records added by ingest.", m.recordsAdded.Load())
+	counter("records_replicated_total", "Sketches accepted via the replicate endpoint.", m.replicated.Load())
 	counter("ingest_batches_total", "Coalesced AddBatch calls.", m.batches.Load())
 	counter("ingest_batched_records_total", "Records across coalesced batches.", m.batchedRecords.Load())
 	gauge("ingest_queue_depth", "Ingest requests currently queued.", float64(s.ingest.depth()))

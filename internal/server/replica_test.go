@@ -1,0 +1,279 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"sketchengine/internal/core"
+)
+
+func getBody(t testing.TB, client *http.Client, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func ingestN(t *testing.T, url string, n int) {
+	t.Helper()
+	var req IngestRequest
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("page-%02d.txt", i)
+		req.Records = append(req.Records, IngestRecord{
+			Name: name,
+			Data: fmt.Sprintf("replica test payload for %s with shared overlapping stems", name),
+		})
+	}
+	resp, out := postJSON(t, http.DefaultClient, url+"/v1/records", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d, body %s", resp.StatusCode, out)
+	}
+}
+
+// TestListRecordsPagination: GET /v1/records walks the whole corpus in
+// cursor-linked pages with full replica payloads (signatures included),
+// no duplicates, no gaps.
+func TestListRecordsPagination(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const n = 10
+	ingestN(t, ts.URL, n)
+
+	seen := make(map[string]bool)
+	cursor := ""
+	pages := 0
+	for {
+		url := ts.URL + "/v1/records?limit=3"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		resp, out := getBody(t, http.DefaultClient, url)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("list page = %d, body %s", resp.StatusCode, out)
+		}
+		var page RecordListResponse
+		if err := json.Unmarshal(out, &page); err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Records) > 3 {
+			t.Fatalf("page of %d records exceeds limit 3", len(page.Records))
+		}
+		for _, rec := range page.Records {
+			if seen[rec.Name] {
+				t.Fatalf("record %s appeared on two pages", rec.Name)
+			}
+			seen[rec.Name] = true
+			if len(rec.Signature) == 0 {
+				t.Fatalf("record %s listed without its signature", rec.Name)
+			}
+		}
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(seen) != n {
+		t.Fatalf("pagination walked %d records, want %d", len(seen), n)
+	}
+	if pages < 4 {
+		t.Fatalf("10 records at limit 3 should take at least 4 pages, took %d", pages)
+	}
+
+	// An empty corpus still encodes "records":[] with no cursor.
+	_, ts2 := newTestServer(t, Config{})
+	resp, out := getBody(t, http.DefaultClient, ts2.URL+"/v1/records")
+	if resp.StatusCode != http.StatusOK || string(out) != "{\"records\":[]}\n" {
+		t.Fatalf("empty list = %d, body %q, want {\"records\":[]}", resp.StatusCode, out)
+	}
+}
+
+// TestListRecordsCursorGone: a cursor naming a record that no longer
+// exists (deleted between pages) is 410 cursor_gone — the walker
+// restarts rather than silently skipping a gap.
+func TestListRecordsCursorGone(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ingestN(t, ts.URL, 4)
+
+	resp, out := getBody(t, http.DefaultClient, ts.URL+"/v1/records?cursor=never-indexed.txt")
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale cursor = %d, want 410; body %s", resp.StatusCode, out)
+	}
+	var env struct {
+		Error ErrorDetail `json:"error"`
+	}
+	if err := json.Unmarshal(out, &env); err != nil || env.Error.Code != CodeCursorGone {
+		t.Fatalf("want %s envelope, got %s", CodeCursorGone, out)
+	}
+
+	// Bad limits are 400s.
+	for _, q := range []string{"limit=0", "limit=-2", "limit=notanumber", "limit=99999"} {
+		resp, out := getBody(t, http.DefaultClient, ts.URL+"/v1/records?"+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("list with %s = %d, want 400; body %s", q, resp.StatusCode, out)
+		}
+	}
+}
+
+// TestReplicateEndpoint: POST /v1/admin/replicate inserts pre-built
+// sketches byte-identically — the transport repair and rebalance use —
+// and is idempotent.
+func TestReplicateEndpoint(t *testing.T) {
+	_, src := newTestServer(t, Config{})
+	ingestN(t, src.URL, 3)
+
+	// Pull one record with its signature; GET must honor ?signature=1.
+	resp, out := getBody(t, http.DefaultClient, src.URL+"/v1/records/page-01.txt?signature=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get with signature = %d, body %s", resp.StatusCode, out)
+	}
+	var rec RecordResponse
+	if err := json.Unmarshal(out, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Signature) != 64 {
+		t.Fatalf("signature length = %d, want 64", len(rec.Signature))
+	}
+	// Without the flag the wire stays lean.
+	_, lean := getBody(t, http.DefaultClient, src.URL+"/v1/records/page-01.txt")
+	var leanRec RecordResponse
+	if err := json.Unmarshal(lean, &leanRec); err != nil {
+		t.Fatal(err)
+	}
+	if len(leanRec.Signature) != 0 {
+		t.Fatalf("plain GET leaked the signature: %s", lean)
+	}
+
+	dstSrv, dst := newTestServer(t, Config{})
+	rep := ReplicateRequest{Records: []ReplicaRecord{{
+		Name: rec.Name, Shingles: rec.Shingles, Bits: rec.Bits, Signature: rec.Signature,
+	}}}
+	resp, out = postJSON(t, http.DefaultClient, dst.URL+"/v1/admin/replicate", rep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replicate = %d, body %s", resp.StatusCode, out)
+	}
+	var ing IngestResponse
+	if err := json.Unmarshal(out, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Received != 1 || ing.Added != 1 {
+		t.Fatalf("replicate response = %+v, want 1 received / 1 added", ing)
+	}
+	// The copy is byte-identical to the original.
+	got := dstSrv.Engine().Index().Get("page-01.txt")
+	if got == nil {
+		t.Fatal("replicated record missing from the destination index")
+	}
+	for i, v := range got.Signature {
+		if v != rec.Signature[i] {
+			t.Fatalf("signature slot %d = %d, want %d — replication must not re-sketch", i, v, rec.Signature[i])
+		}
+	}
+
+	// Idempotent: the same copy again is a skip, not an error.
+	resp, out = postJSON(t, http.DefaultClient, dst.URL+"/v1/admin/replicate", rep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-replicate = %d, body %s", resp.StatusCode, out)
+	}
+	if err := json.Unmarshal(out, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Added != 0 || ing.Skipped != 1 {
+		t.Fatalf("re-replicate response = %+v, want 0 added / 1 skipped", ing)
+	}
+
+	// A signature of the wrong width is the sender's fault: 400, and
+	// nothing lands.
+	bad := ReplicateRequest{Records: []ReplicaRecord{{
+		Name: "bad.txt", Shingles: 5, Signature: make([]uint64, 7),
+	}}}
+	resp, out = postJSON(t, http.DefaultClient, dst.URL+"/v1/admin/replicate", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("replicate with a short signature = %d, want 400; body %s", resp.StatusCode, out)
+	}
+	if dstSrv.Engine().Index().Has("bad.txt") {
+		t.Fatal("rejected replicate must not leave the record behind")
+	}
+
+	// Replicated inserts are visible in /stats.
+	_, stats := getBody(t, http.DefaultClient, dst.URL+"/stats")
+	var st StatsResponse
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingest.Replicated != 1 {
+		t.Fatalf("stats replicated = %d, want 1", st.Ingest.Replicated)
+	}
+}
+
+// TestRecordsIterator exercises the core pagination primitive directly:
+// stable walk, deleted-cursor detection, delete-during-walk tolerance.
+func TestRecordsIterator(t *testing.T) {
+	eng := testEngine(t)
+	for i := 0; i < 7; i++ {
+		if _, err := eng.Add(core.Record{
+			Name: fmt.Sprintf("it-%d", i),
+			Data: []byte(fmt.Sprintf("iterator corpus payload %d with stems", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := eng.Index()
+
+	var all []string
+	cursor := ""
+	for {
+		page, next, err := ix.Records(cursor, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sk := range page {
+			all = append(all, sk.Name)
+		}
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if len(all) != 7 {
+		t.Fatalf("iterator yielded %d records, want 7", len(all))
+	}
+
+	if _, _, err := ix.Records("no-such-record", 3); !errors.Is(err, core.ErrCursorGone) {
+		t.Fatalf("unknown cursor error = %v, want ErrCursorGone", err)
+	}
+
+	// Deleting the record a cursor points past must not break the walk:
+	// the cursor name stays in order (tombstoned) or the caller gets
+	// cursor_gone and restarts — either way, no silent gap. Here the
+	// cursor record survives, a later record dies mid-walk.
+	page, next, err := ix.Records("", 3)
+	if err != nil || next == "" {
+		t.Fatalf("first page: %v, next %q", err, next)
+	}
+	if _, err := ix.Delete(all[4]); err != nil {
+		t.Fatal(err)
+	}
+	rest, _, err := ix.Records(next, 10)
+	if err != nil {
+		t.Fatalf("walk after a mid-corpus delete: %v", err)
+	}
+	for _, sk := range rest {
+		if sk.Name == all[4] {
+			t.Fatalf("deleted record %s still listed", all[4])
+		}
+	}
+	if len(page)+len(rest) != 6 {
+		t.Fatalf("walk after delete yielded %d, want 6", len(page)+len(rest))
+	}
+}
