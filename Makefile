@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test cover bench bench-json bench-compare smoke lint linkcheck clean
+.PHONY: all build vet test cover bench bench-json bench-compare smoke chaos lint linkcheck clean
 
 all: build vet test
 
@@ -34,6 +34,12 @@ bench-compare:
 
 smoke:
 	./scripts/smoke_http.sh
+
+# Failure matrix under the race detector: 25 pinned fault schedules
+# plus one rotating seed. Reproduce a CI failure with
+# `CHAOS_SEED=<n> make chaos`.
+chaos:
+	CHAOS_SEED=$${CHAOS_SEED:-$$RANDOM} $(GO) test -race -count=1 -run 'TestFailureMatrix' -v ./internal/cluster
 
 linkcheck:
 	./scripts/check_links.sh

@@ -16,6 +16,7 @@ import (
 
 	"sketchengine/internal/cluster"
 	"sketchengine/internal/core"
+	"sketchengine/internal/fault"
 	"sketchengine/internal/server"
 )
 
@@ -58,11 +59,23 @@ func cmdServe(argv []string, stdout, stderr io.Writer) error {
 	queueDepth := fs.Int("queue-depth", server.DefaultQueueDepth, "ingest queue capacity, in pending requests")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "max request body size in bytes")
 	drain := fs.Duration("drain-timeout", server.DefaultDrainTimeout, "how long shutdown waits for in-flight requests")
+	faultSpec := fs.String("fault-spec", "",
+		"chaos-testing only: arm fault injection, e.g. \"backend.rt:error=0.1;wal.fsync:fail-once\" (see docs/API.md)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for -fault-spec probability rolls, for exact replay of a schedule")
 	if err := parseFlags(fs, argv); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %q (records are ingested over HTTP, not the command line)", fs.Args())
+	}
+	if *faultSpec != "" {
+		plan, err := fault.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		fault.Enable(plan)
+		fmt.Fprintf(stderr, "engine: serve: FAULT INJECTION ARMED spec=%q seed=%d (test tooling; disarm by restarting without -fault-spec)\n",
+			*faultSpec, *faultSeed)
 	}
 	if *coordinator {
 		cfg := cluster.Config{

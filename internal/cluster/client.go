@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sketchengine/internal/fault"
 	"sketchengine/internal/server"
 )
 
@@ -20,17 +23,24 @@ type backend struct {
 	addr string // host:port, as configured
 	base string // http://host:port
 
-	// up is the hysteresis-filtered health state. Backends start up
-	// (optimistically): a backend that is actually down costs one failed
-	// fan-out per request until the checker's consecutive-failure count
-	// trips, while a backend wrongly marked down would silently shed
-	// load.
+	// up is the breaker-derived health state request paths read: true
+	// iff the breaker is closed. Backends start up (optimistically): a
+	// backend that is actually down costs one failed fan-out per request
+	// until the breaker trips, while a backend wrongly marked down would
+	// silently shed load.
 	up atomic.Bool
 
-	// consecFails / consecOKs drive the hysteresis; only the health
-	// checker goroutine writes them.
+	// Circuit breaker state (see resilience.go). bMu guards the
+	// consecutive counters and state transitions — probe outcomes and
+	// concurrent request outcomes feed the same machine; bState is
+	// additionally atomic so /stats reads it without the lock.
+	bMu         sync.Mutex
+	bState      atomic.Int32
 	consecFails int
 	consecOKs   int
+	opens       atomic.Int64 // ->open transitions (trip or failed probation)
+	halfOpens   atomic.Int64 // ->half-open transitions (first success while open)
+	closes      atomic.Int64 // ->closed transitions (recovery)
 
 	// Observed traffic, for /stats and the ring-occupancy metric.
 	routedRecords atomic.Int64 // records routed here by ingest
@@ -77,16 +87,29 @@ func (e *BackendError) Error() string {
 
 // client wraps the one shared http.Client all fan-outs use. Idle
 // connections are pooled per backend so steady-state scatter-gather
-// reuses warm connections instead of paying a dial per probe.
+// reuses warm connections instead of paying a dial per probe. The
+// transport is wrapped in the backend.rt faultpoint — a single atomic
+// nil check per request when no fault spec is armed — so chaos tests
+// inject latency, 5xx, resets, and torn bodies exactly where the
+// network would.
 type client struct {
 	hc *http.Client
+
+	// observe, when set, receives every request's outcome — the
+	// request-path feed into the per-backend circuit breaker (classify
+	// with requestOK). Probes bypass it via doQuiet: the health loop
+	// reports outcomes itself, and one probe must count once, not twice.
+	observe func(b *backend, err error)
 }
 
 func newClient(backends int) *client {
 	return &client{hc: &http.Client{
-		Transport: &http.Transport{
-			MaxIdleConns:        4 * backends,
-			MaxIdleConnsPerHost: 4,
+		Transport: &fault.RoundTripper{
+			Point: "backend.rt",
+			Base: &http.Transport{
+				MaxIdleConns:        4 * backends,
+				MaxIdleConnsPerHost: 4,
+			},
 		},
 	}}
 }
@@ -97,8 +120,33 @@ var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // do sends one request to b and decodes the JSON response into out
 // (skipped when out is nil). body, when non-nil, is JSON-encoded as
 // the request body. Non-2xx responses decode the error envelope into a
-// *BackendError. The caller bounds the call with ctx.
+// *BackendError. The caller bounds the call with ctx; a ctx deadline
+// is propagated to the backend in the X-Sketch-Deadline header so the
+// backend can abort work the coordinator has already given up on. The
+// outcome feeds the breaker via the observe hook.
 func (c *client) do(ctx context.Context, b *backend, method, path string, body, out any) error {
+	err := c.doQuiet(ctx, b, method, path, body, out)
+	if c.observe != nil {
+		c.observe(b, err)
+	}
+	return err
+}
+
+// requestOK classifies a request outcome for the breaker: nil and
+// below-500 envelope errors mean the backend is serving (a 404 or 400
+// is a healthy answer); transport errors, torn responses, and 5xx count
+// against it.
+func requestOK(err error) bool {
+	if err == nil {
+		return true
+	}
+	var berr *BackendError
+	return errors.As(err, &berr) && berr.Status < 500
+}
+
+// doQuiet is do without the breaker feed — the health loop's probes go
+// through it because observeProbe reports their outcomes itself.
+func (c *client) doQuiet(ctx context.Context, b *backend, method, path string, body, out any) error {
 	b.requests.Add(1)
 	var rd io.Reader
 	var buf *bytes.Buffer
@@ -118,6 +166,9 @@ func (c *client) do(ctx context.Context, b *backend, method, path string, body, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 		req.ContentLength = int64(buf.Len())
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(server.DeadlineHeader, strconv.FormatInt(dl.UnixMilli(), 10))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

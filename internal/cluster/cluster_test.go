@@ -404,6 +404,7 @@ func TestHealthHysteresis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = coord.Close() })
 	b := coord.backends[0]
 	if !b.up.Load() {
 		t.Fatal("backends must start optimistically up")

@@ -22,6 +22,13 @@ const (
 	DefaultUpAfter        = 2
 	DefaultHintTTL        = time.Hour
 	DefaultHintInterval   = time.Second
+	// DefaultRetryBudget / DefaultRetryRefillPerSec size the
+	// coordinator-wide retry token bucket: 64 retried backend calls of
+	// burst, refilling at 16/s. Enough that a transient blip retries
+	// freely, small enough that a dead backend cannot induce an
+	// unbounded retry storm across search, handoff, and repair traffic.
+	DefaultRetryBudget       = 64
+	DefaultRetryRefillPerSec = 16.0
 )
 
 // Config configures a Coordinator. Zero values fall back to the
@@ -70,6 +77,20 @@ type Config struct {
 	RepairInterval time.Duration
 	// MaxInFlight bounds concurrently served coordinator requests.
 	MaxInFlight int
+	// MaxFanout bounds concurrently running fan-outs (search, ingest,
+	// delete scatter-gathers). A fan-out beyond the bound is shed
+	// immediately with 503 + Retry-After instead of queueing — under
+	// sustained overload a bounded queue of doomed work only adds
+	// latency. Zero means MaxInFlight, which (given the in-flight
+	// limiter) never sheds; set it lower to shed before saturation.
+	MaxFanout int
+	// RetryBudget and RetryRefillPerSec size the coordinator-wide retry
+	// token bucket (see DefaultRetryBudget). Every retried backend call
+	// across search retry waves, hint replays, and repair traffic spends
+	// a token; an empty bucket denies the retry and the caller degrades.
+	// Zero means the defaults.
+	RetryBudget       int
+	RetryRefillPerSec float64
 	// MaxBatch caps records per ingest request, mirroring the backends'
 	// limit so the coordinator rejects oversized batches itself.
 	MaxBatch int
@@ -94,6 +115,8 @@ type Coordinator struct {
 	handler http.Handler
 	hints   *hintStore
 	repairs *repairQueue
+	budget  *retryBudget
+	fanouts atomic.Int64 // fan-outs currently running, bounded by MaxFanout
 
 	// mu guards the membership view: the placement ring, the optional
 	// migration target ring, and the backend list. Request paths take
@@ -150,6 +173,15 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = server.DefaultMaxInFlight
 	}
+	if cfg.MaxFanout <= 0 {
+		cfg.MaxFanout = cfg.MaxInFlight
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = DefaultRetryBudget
+	}
+	if cfg.RetryRefillPerSec <= 0 {
+		cfg.RetryRefillPerSec = DefaultRetryRefillPerSec
+	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = server.DefaultMaxBatch
 	}
@@ -174,6 +206,7 @@ func New(cfg Config) (*Coordinator, error) {
 		metrics:  newClusterMetrics(),
 		hints:    hints,
 		repairs:  newRepairQueue(),
+		budget:   newRetryBudget(cfg.RetryBudget, cfg.RetryRefillPerSec),
 		byAddr:   make(map[string]*backend, len(ring.Backends())),
 		hintKick: make(chan struct{}, 1),
 		stop:     make(chan struct{}),
@@ -182,6 +215,16 @@ func New(cfg Config) (*Coordinator, error) {
 		b := newBackend(addr)
 		c.backends = append(c.backends, b)
 		c.byAddr[addr] = b
+	}
+	// Live request outcomes drive the same breaker the health probes do,
+	// so a failing backend is shed as fast as traffic discovers it. A
+	// backend 504 means a propagated deadline died downstream; count it.
+	c.client.observe = func(b *backend, err error) {
+		var berr *BackendError
+		if errors.As(err, &berr) && berr.Status == http.StatusGatewayTimeout {
+			c.metrics.deadlineExceeded.Add(1)
+		}
+		c.observeBreaker(b, requestOK(err), false)
 	}
 	c.handler = c.limit(c.count(server.JSONErrors(c.routes())))
 	go c.repairLoop()
@@ -307,6 +350,9 @@ type clusterMetrics struct {
 	retries        atomic.Int64 // backend calls retried after a failed first wave
 	partials       atomic.Int64 // search responses degraded to partial
 	quorumFailures atomic.Int64 // records that missed their write quorum
+
+	shed             atomic.Int64 // fan-outs shed at the MaxFanout bound (503s)
+	deadlineExceeded atomic.Int64 // backend calls that died on a propagated deadline (504s)
 
 	joins             atomic.Int64 // committed ring joins
 	drains            atomic.Int64 // committed ring drains

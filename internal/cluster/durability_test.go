@@ -45,7 +45,11 @@ func TestQuorumWriteSurvivesCrash(t *testing.T) {
 		ts := httptest.NewServer(srv.Handler())
 		t.Cleanup(ts.Close)
 		engines[i], httpSrvs[i] = eng, ts
-		_ = srv // lifecycle is the test's: no Close, the "crash" must skip its snapshot
+		// The "crash" must skip srv's snapshot, so srv.Close runs only in
+		// cleanup — after the cold-reopen verification is done — where it
+		// stops the ingest batcher (its snapshot of a crashed index fails
+		// harmlessly).
+		t.Cleanup(func() { _ = srv.Close() })
 		addrs = append(addrs, ts.Listener.Addr().String())
 	}
 
@@ -53,6 +57,7 @@ func TestQuorumWriteSurvivesCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = coord.Close() })
 	cts := httptest.NewServer(coord.Handler())
 	defer cts.Close()
 

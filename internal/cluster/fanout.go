@@ -60,6 +60,14 @@ func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.metrics.searches.Add(1)
+	release := c.acquireFanout()
+	if release == nil {
+		w.Header().Set("Retry-After", "1")
+		server.WriteError(w, http.StatusServiceUnavailable, server.CodeOverloaded,
+			fmt.Sprintf("search: coordinator at fan-out capacity (%d); retry later", c.cfg.MaxFanout))
+		return
+	}
+	defer release()
 
 	backends := c.backendList()
 	calls := make([]*searchCall, len(backends))
@@ -78,9 +86,11 @@ func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 			retryWave = append(retryWave, call)
 		}
 	}
-	if len(retryWave) > 0 && len(retryWave) < len(calls) {
+	if len(retryWave) > 0 && len(retryWave) < len(calls) && c.budget.allow(len(retryWave)) {
 		// Retry failed and down-skipped backends once before giving up on
-		// them; a whole-cluster outage skips straight to the error below.
+		// them; a whole-cluster outage skips straight to the error below,
+		// and an exhausted retry budget degrades to partial rather than
+		// joining a retry storm against recovering backends.
 		c.metrics.retries.Add(int64(len(retryWave)))
 		c.scatterSearch(r.Context(), retryWave, &req)
 	}

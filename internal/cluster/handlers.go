@@ -8,8 +8,19 @@ import (
 	"strconv"
 	"time"
 
+	"sketchengine/internal/fault"
 	"sketchengine/internal/server"
 )
+
+// faultCounters snapshots the armed fault plan's injection counters,
+// keyed "point:kind", or nil when no spec is armed.
+func faultCounters() map[string]int64 {
+	p := fault.Active()
+	if p == nil {
+		return nil
+	}
+	return p.Counters()
+}
 
 func (c *Coordinator) routes() http.Handler {
 	mux := http.NewServeMux()
@@ -39,13 +50,21 @@ type HealthResponse struct {
 
 // BackendStats is one backend's row in the coordinator's /stats.
 type BackendStats struct {
-	Addr          string  `json:"addr"`
-	Up            bool    `json:"up"`
-	Requests      int64   `json:"requests"`
-	Failures      int64   `json:"failures"`
-	RoutedRecords int64   `json:"routed_records"`
-	Transitions   int64   `json:"transitions"`
-	DownSeconds   float64 `json:"down_seconds,omitempty"`
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
+	// Breaker is the circuit-breaker state gating first-wave traffic to
+	// this backend: "closed" (healthy), "open" (shed), or "half-open"
+	// (recovery probation). The transition counters record how often the
+	// breaker tripped, entered probation, and recovered.
+	Breaker          string  `json:"breaker"`
+	BreakerOpens     int64   `json:"breaker_opens,omitempty"`
+	BreakerHalfOpens int64   `json:"breaker_half_opens,omitempty"`
+	BreakerCloses    int64   `json:"breaker_closes,omitempty"`
+	Requests         int64   `json:"requests"`
+	Failures         int64   `json:"failures"`
+	RoutedRecords    int64   `json:"routed_records"`
+	Transitions      int64   `json:"transitions"`
+	DownSeconds      float64 `json:"down_seconds,omitempty"`
 	// PendingHints is how many quorum-acked writes this backend still
 	// has to catch up on; ProbeIntervalSeconds is the health prober's
 	// current (backed-off) cadence for it.
@@ -85,6 +104,15 @@ type RebalanceStats struct {
 	Copied   int64 `json:"copies_streamed"`
 }
 
+// RetryBudgetStats reports the coordinator-wide retry token bucket.
+type RetryBudgetStats struct {
+	Remaining    float64 `json:"remaining"`
+	Max          int     `json:"max"`
+	RefillPerSec float64 `json:"refill_per_sec"`
+	Spent        int64   `json:"spent"`
+	Denied       int64   `json:"denied"`
+}
+
 // StatsResponse is the coordinator's GET /stats body.
 type StatsResponse struct {
 	UptimeSeconds  float64        `json:"uptime_seconds"`
@@ -99,10 +127,19 @@ type StatsResponse struct {
 	Retries        int64          `json:"retries"`
 	PartialResults int64          `json:"partial_results"`
 	QuorumFailures int64          `json:"quorum_failures"`
-	Hints          HintStats      `json:"hints"`
-	Repair         RepairStats    `json:"repair"`
-	Rebalance      RebalanceStats `json:"rebalance"`
-	Backends       []BackendStats `json:"backends"`
+	// Shed counts fan-outs refused with 503 at the MaxFanout bound;
+	// DeadlineExceeded counts backend calls that came back 504 after the
+	// propagated deadline expired.
+	Shed             int64            `json:"shed,omitempty"`
+	DeadlineExceeded int64            `json:"deadline_exceeded,omitempty"`
+	RetryBudget      RetryBudgetStats `json:"retry_budget"`
+	// Faults is populated only while a fault spec is armed: injection
+	// counts keyed "point:kind".
+	Faults    map[string]int64 `json:"faults,omitempty"`
+	Hints     HintStats        `json:"hints"`
+	Repair    RepairStats      `json:"repair"`
+	Rebalance RebalanceStats   `json:"rebalance"`
+	Backends  []BackendStats   `json:"backends"`
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -130,13 +167,17 @@ func (c *Coordinator) backendStats() []BackendStats {
 	out := make([]BackendStats, 0, len(backends))
 	for _, b := range backends {
 		bs := BackendStats{
-			Addr:          b.addr,
-			Up:            b.up.Load(),
-			Requests:      b.requests.Load(),
-			Failures:      b.failures.Load(),
-			RoutedRecords: b.routedRecords.Load(),
-			Transitions:   b.transitions.Load(),
-			PendingHints:  c.hints.depthFor(b.addr),
+			Addr:             b.addr,
+			Up:               b.up.Load(),
+			Breaker:          breakerStateName(b.bState.Load()),
+			BreakerOpens:     b.opens.Load(),
+			BreakerHalfOpens: b.halfOpens.Load(),
+			BreakerCloses:    b.closes.Load(),
+			Requests:         b.requests.Load(),
+			Failures:         b.failures.Load(),
+			RoutedRecords:    b.routedRecords.Load(),
+			Transitions:      b.transitions.Load(),
+			PendingHints:     c.hints.depthFor(b.addr),
 		}
 		if since := b.downSince.Load(); since != 0 {
 			bs.DownSeconds = time.Since(time.Unix(0, since)).Seconds()
@@ -165,9 +206,19 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		IngestRequests: m.ingestRequests.Load(),
 		RecordsRouted:  m.recordsRouted.Load(),
 		Deletes:        m.deletes.Load(),
-		Retries:        m.retries.Load(),
-		PartialResults: m.partials.Load(),
-		QuorumFailures: m.quorumFailures.Load(),
+		Retries:          m.retries.Load(),
+		PartialResults:   m.partials.Load(),
+		QuorumFailures:   m.quorumFailures.Load(),
+		Shed:             m.shed.Load(),
+		DeadlineExceeded: m.deadlineExceeded.Load(),
+		RetryBudget: RetryBudgetStats{
+			Remaining:    c.budget.remaining(),
+			Max:          c.cfg.RetryBudget,
+			RefillPerSec: c.cfg.RetryRefillPerSec,
+			Spent:        c.budget.spent.Load(),
+			Denied:       c.budget.denied.Load(),
+		},
+		Faults: faultCounters(),
 		Hints: HintStats{
 			Pending:  c.hints.depth(),
 			Queued:   c.hints.queued.Load(),
@@ -222,6 +273,12 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("retries_total", "Backend calls retried after a failed first wave.", m.retries.Load())
 	counter("partial_results_total", "Search responses degraded to partial.", m.partials.Load())
 	counter("quorum_failures_total", "Records that missed their write quorum.", m.quorumFailures.Load())
+	counter("shed_total", "Fan-outs refused with 503 at the MaxFanout bound.", m.shed.Load())
+	counter("deadline_exceeded_total", "Backend calls that answered 504 past the propagated deadline.", m.deadlineExceeded.Load())
+	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_retry_budget_tokens Retry tokens currently available.\n# TYPE sketchengine_cluster_retry_budget_tokens gauge\nsketchengine_cluster_retry_budget_tokens %.3f\n",
+		c.budget.remaining())
+	counter("retry_budget_spent_total", "Retry tokens spent on second waves, hint replays, and repair copies.", c.budget.spent.Load())
+	counter("retry_budget_denied_total", "Retries denied on an empty budget.", c.budget.denied.Load())
 
 	gauge("hint_depth", "Hints pending across all backends.", int64(c.hints.depth()))
 	counter("hints_queued_total", "Hints enqueued for replicas that missed an acked write.", c.hints.queued.Load())
@@ -257,6 +314,23 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(&buf, "sketchengine_cluster_backend_up{backend=%q} %d\n", b.addr, up)
 	}
+	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_backend_breaker_state Per-backend breaker state (1 on the active state's series).\n# TYPE sketchengine_cluster_backend_breaker_state gauge\n")
+	for _, b := range backends {
+		cur := breakerStateName(b.bState.Load())
+		for _, state := range []string{"closed", "open", "half-open"} {
+			v := 0
+			if state == cur {
+				v = 1
+			}
+			fmt.Fprintf(&buf, "sketchengine_cluster_backend_breaker_state{backend=%q,state=%q} %d\n", b.addr, state, v)
+		}
+	}
+	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_backend_breaker_transitions_total Breaker transitions per backend by kind.\n# TYPE sketchengine_cluster_backend_breaker_transitions_total counter\n")
+	for _, b := range backends {
+		fmt.Fprintf(&buf, "sketchengine_cluster_backend_breaker_transitions_total{backend=%q,kind=\"open\"} %d\n", b.addr, b.opens.Load())
+		fmt.Fprintf(&buf, "sketchengine_cluster_backend_breaker_transitions_total{backend=%q,kind=\"half_open\"} %d\n", b.addr, b.halfOpens.Load())
+		fmt.Fprintf(&buf, "sketchengine_cluster_backend_breaker_transitions_total{backend=%q,kind=\"close\"} %d\n", b.addr, b.closes.Load())
+	}
 	fmt.Fprintf(&buf, "# HELP sketchengine_cluster_backend_requests_total Requests proxied to each backend.\n# TYPE sketchengine_cluster_backend_requests_total counter\n")
 	for _, b := range backends {
 		fmt.Fprintf(&buf, "sketchengine_cluster_backend_requests_total{backend=%q} %d\n", b.addr, b.requests.Load())
@@ -288,6 +362,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		server.WritePromHistogram(&buf, "sketchengine_cluster_fanout_duration_seconds",
 			fmt.Sprintf("endpoint=%q", name), m.hist(name))
 	}
+	server.WriteFaultMetrics(&buf)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))

@@ -475,6 +475,14 @@ func (c *Coordinator) drainBackendHints(ctx context.Context, b *backend) {
 			done++
 			continue
 		}
+		if !c.budget.allow(1) {
+			// Retry budget is dry: stop this drain pass and leave the rest
+			// queued. The next tick (or kick) resumes from here — hints are
+			// exactly the traffic that must not stampede a backend that just
+			// came back.
+			c.logf("hint drain to %s paused after %d/%d: retry budget exhausted", b.addr, done, len(pending))
+			break
+		}
 		if err := c.replayHint(ctx, b, h); err != nil {
 			c.logf("hint replay to %s stalled after %d/%d: %v", b.addr, done, len(pending), err)
 			break

@@ -36,7 +36,7 @@ func (c *Coordinator) healthLoop(ctx context.Context) {
 
 func (c *Coordinator) probe(ctx context.Context, b *backend) {
 	pctx, cancel := context.WithTimeout(ctx, c.cfg.FanoutTimeout)
-	err := c.client.do(pctx, b, "GET", "/healthz", nil, nil)
+	err := c.client.doQuiet(pctx, b, "GET", "/healthz", nil, nil)
 	cancel()
 	c.observeProbe(b, err == nil)
 	if err != nil {
@@ -45,41 +45,18 @@ func (c *Coordinator) probe(ctx context.Context, b *backend) {
 	}
 }
 
-// observeProbe feeds one probe outcome into b's hysteresis: a backend
-// is marked down only after DownAfter consecutive failures and back up
-// only after UpAfter consecutive successes, so a single dropped probe
-// (GC pause, stolen CPU) never flaps the ring. A down->up transition
-// kicks the hint drainer — the moment a backend recovers is exactly
-// when its queued writes should replay. Only the health loop calls
-// this, so the consecutive counters and the reprobe schedule need no
-// synchronization; the up flag and current interval are atomic because
-// request paths and /stats read them.
+// observeProbe feeds one probe outcome into b's circuit breaker (see
+// observeBreaker in resilience.go): a backend trips open only after
+// DownAfter consecutive failures and closes only after UpAfter
+// consecutive successes through half-open, so a single dropped probe
+// (GC pause, stolen CPU) never flaps the ring, and an open->closed
+// transition kicks the hint drainer — the moment a backend recovers is
+// exactly when its queued writes should replay. Unlike the pre-breaker
+// hysteresis, live request outcomes feed the same state machine, so
+// probes are the backstop rather than the only signal; the reprobe
+// backoff schedule, though, is still the health loop's alone.
 func (c *Coordinator) observeProbe(b *backend, ok bool) {
-	if ok {
-		b.consecFails = 0
-		b.consecOKs++
-		b.probeInterval.Store(int64(c.baseProbeInterval()))
-		b.nextProbe = time.Time{}
-		if !b.up.Load() && b.consecOKs >= c.cfg.UpAfter {
-			b.up.Store(true)
-			b.downSince.Store(0)
-			b.transitions.Add(1)
-			c.logf("backend %s is up", b.addr)
-			c.kickHintDrain()
-		}
-		return
-	}
-	b.consecOKs = 0
-	b.consecFails++
-	if b.up.Load() && b.consecFails >= c.cfg.DownAfter {
-		b.up.Store(false)
-		b.downSince.Store(time.Now().UnixNano())
-		b.transitions.Add(1)
-		c.logf("backend %s is down after %d consecutive probe failures", b.addr, b.consecFails)
-	}
-	if !b.up.Load() {
-		b.scheduleReprobe(c.baseProbeInterval(), c.cfg.MaxProbeInterval)
-	}
+	c.observeBreaker(b, ok, true)
 }
 
 // baseProbeInterval is the healthy-backend probe cadence. Hand-driven

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain asserts the package leaks no goroutines: every coordinator
+// Close must stop its loops (health, hints, repair, sweep) and every
+// test server teardown must unwind its connections. The check retries
+// with a grace period because net/http read loops exit asynchronously
+// after their connections close, and keeps a small slack for runtime
+// helpers that are not the package's to stop.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		http.DefaultClient.CloseIdleConnections()
+		const slack = 4
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= baseline+slack {
+				break
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				fmt.Fprintf(os.Stderr, "goroutine leak: %d live after tests, baseline %d (slack %d)\n%s\n",
+					n, baseline, slack, buf)
+				code = 1
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	os.Exit(code)
+}

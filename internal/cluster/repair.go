@@ -146,6 +146,15 @@ func (c *Coordinator) repairRecord(ctx context.Context, name string) (int, error
 	copied := 0
 	var firstErr error
 	for _, b := range missing {
+		if !c.budget.allow(1) {
+			// Repair copies are corrective retries of past writes; a dry
+			// budget defers the rest to the next pass or the sweep.
+			c.repairs.failed.Add(1)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("repair %q: retry budget exhausted with %d cop(ies) pending", name, len(missing)-copied)
+			}
+			break
+		}
 		cctx, cancel := context.WithTimeout(ctx, c.cfg.FanoutTimeout)
 		err := c.client.do(cctx, b, "POST", "/v1/admin/replicate", &req, nil)
 		cancel()
@@ -315,7 +324,11 @@ func (c *Coordinator) enumerateBackend(ctx context.Context, b *backend, visit fu
 				continue
 			}
 			// One retry: a single dropped connection should not fail a
-			// whole enumeration.
+			// whole enumeration — but it spends a retry token like every
+			// other second attempt.
+			if !c.budget.allow(1) {
+				return fmt.Errorf("enumerate %s: %w (retry budget exhausted)", b.addr, err)
+			}
 			cctx, cancel := context.WithTimeout(ctx, c.cfg.FanoutTimeout)
 			err = c.client.do(cctx, b, "GET", path, nil, &page)
 			cancel()

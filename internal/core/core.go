@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -8,7 +9,7 @@ import (
 
 // Version identifies the engine build. It is reported by the CLI and
 // stamped into saved index metadata.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // Options configures an Engine. Zero values fall back to the package
 // defaults (DefaultK, DefaultSignatureSize, DefaultScheme sketching,
@@ -349,6 +350,15 @@ func (e *Engine) Search(rec Record, topK int, minSim float64) ([]Result, error) 
 // is emitted with SketchInto, so a steady-state search sketches into a
 // warm buffer instead of allocating a signature per request.
 func (e *Engine) SearchMode(rec Record, mode SearchMode, topK int, minSim float64) ([]Result, error) {
+	return e.SearchModeCtx(context.Background(), rec, mode, topK, minSim)
+}
+
+// SearchModeCtx is SearchMode under a context: the scoring loops poll
+// ctx every few hundred records and the query returns ctx's error
+// instead of partial results when it fires — how a serving layer aborts
+// in-flight scoring once the caller's deadline passes or the client
+// disconnects. A background context adds no overhead.
+func (e *Engine) SearchModeCtx(ctx context.Context, rec Record, mode SearchMode, topK int, minSim float64) ([]Result, error) {
 	q, _ := e.queries.Get().(*Sketch)
 	if q == nil || len(q.Signature) != e.sketcher.SignatureSize() {
 		q = &Sketch{Signature: make([]uint64, e.sketcher.SignatureSize())}
@@ -360,9 +370,9 @@ func (e *Engine) SearchMode(rec Record, mode SearchMode, topK int, minSim float6
 	var res []Result
 	var err error
 	if mode == ModeExact {
-		res, err = SearchTopK(e.index, q, topK, minSim, e.pool)
+		res, err = SearchTopKCtx(ctx, e.index, q, topK, minSim, e.pool)
 	} else {
-		res, err = SearchTopKLSH(e.index, q, topK, minSim, e.pool)
+		res, err = SearchTopKLSHCtx(ctx, e.index, q, topK, minSim, e.pool)
 	}
 	// Results carry only the name string; the signature buffer never
 	// escapes the search, so the sketch can be recycled.

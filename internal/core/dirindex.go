@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"slices"
 	"strings"
+
+	"sketchengine/internal/fault"
 )
 
 // ManifestFile is the name of the manifest inside a tiered index
@@ -219,6 +221,9 @@ func (ix *Index) SaveDir() (err error) {
 		man.Shards = append(man.Shards, ms)
 	}
 
+	if err := fault.Check("manifest.commit"); err != nil {
+		return fmt.Errorf("index %q: save dir: %w", ix.meta.Name, err)
+	}
 	if err := writeManifest(filepath.Join(ix.tier.dataDir, ManifestFile), &man); err != nil {
 		return fmt.Errorf("index %q: save dir: %w", ix.meta.Name, err)
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // SearchMode selects how SearchTopK-style queries scan the index.
@@ -50,9 +52,56 @@ type packedQuery struct {
 	name     string
 	shingles int
 	slots    int
-	packed   []uint64 // arena-width row image
-	full     []uint64 // full-width signature; set only on tiered indexes
-	bandKeys []uint64 // one bucket key per band; nil outside LSH probes
+	packed   []uint64  // arena-width row image
+	full     []uint64  // full-width signature; set only on tiered indexes
+	bandKeys []uint64  // one bucket key per band; nil outside LSH probes
+	cancel   *canceler // non-nil on ctx-aware searches; scan loops poll it
+}
+
+// cancelCheckEvery is how many rows a scan loop scores between
+// cancellation polls. Polling is one atomic load on the common path, so
+// the stride only has to amortize the ctx.Err() call.
+const cancelCheckEvery = 1024
+
+// canceler adapts a context for polling from the scan hot loops: the
+// first goroutine to observe ctx expiry latches stop, and every other
+// loop sees the latch with a single atomic load instead of re-deriving
+// ctx.Err().
+type canceler struct {
+	ctx  context.Context
+	stop atomic.Bool
+}
+
+// newCanceler returns nil for contexts that can never fire, keeping the
+// background-search path free of polling entirely.
+func newCanceler(ctx context.Context) *canceler {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &canceler{ctx: ctx}
+}
+
+// canceled polls the context. Safe on a nil receiver (never canceled).
+func (c *canceler) canceled() bool {
+	if c == nil {
+		return false
+	}
+	if c.stop.Load() {
+		return true
+	}
+	if c.ctx.Err() != nil {
+		c.stop.Store(true)
+		return true
+	}
+	return false
+}
+
+// err returns the context error once a scan aborted, nil otherwise.
+func (c *canceler) err() error {
+	if c == nil || !c.stop.Load() {
+		return nil
+	}
+	return c.ctx.Err()
 }
 
 // scoredCand is one prefilter survivor: a shard-local row index and its
@@ -223,13 +272,25 @@ func PairwiseDistances(sketches []*Sketch, pool *Pool) ([]Result, error) {
 // comes from a pool, so steady-state calls allocate only the returned
 // slice.
 func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
+	return SearchTopKCtx(context.Background(), ix, query, topK, minSim, pool)
+}
+
+// SearchTopKCtx is SearchTopK with cooperative cancellation: the scan
+// loops poll ctx every cancelCheckEvery rows and the search returns
+// ctx's error instead of a partial result set when it fires. A
+// background context costs nothing extra.
+func SearchTopKCtx(ctx context.Context, ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
 	if err := checkSearchArgs(ix, query, topK); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	buf := getSearchBuf()
 	defer putSearchBuf(buf)
 	shards := ix.snapshotShards()
 	q := buf.prepare(ix, query, len(shards))
+	q.cancel = newCanceler(ctx)
 	scan := func(sh *shard, sc *shardScratch, dst []Result) []Result {
 		return sh.scanAppend(dst, q, minSim)
 	}
@@ -239,6 +300,9 @@ func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) 
 		}
 	}
 	merged := runScan(buf, shards, q, topK, minSim, pool, ix.Len(), scan)
+	if err := q.cancel.err(); err != nil {
+		return nil, err
+	}
 	return finishResults(merged, topK), nil
 }
 
@@ -254,13 +318,23 @@ func SearchTopK(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) 
 // well below it are skipped by design. Candidate scoring and the
 // fallback sweep fan out per shard when the row count justifies it.
 func SearchTopKLSH(ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
+	return SearchTopKLSHCtx(context.Background(), ix, query, topK, minSim, pool)
+}
+
+// SearchTopKLSHCtx is SearchTopKLSH with cooperative cancellation,
+// under the same contract as SearchTopKCtx.
+func SearchTopKLSHCtx(ctx context.Context, ix *Index, query *Sketch, topK int, minSim float64, pool *Pool) ([]Result, error) {
 	if err := checkSearchArgs(ix, query, topK); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	buf := getSearchBuf()
 	defer putSearchBuf(buf)
 	shards := ix.snapshotShards()
 	q := buf.prepare(ix, query, len(shards))
+	q.cancel = newCanceler(ctx)
 	buf.prepareBandKeys(ix, query)
 	// Probing is a handful of map lookups per shard; always inline.
 	totalCand := 0
@@ -283,11 +357,14 @@ func SearchTopKLSH(ix *Index, query *Sketch, topK int, minSim float64, pool *Poo
 		}
 	}
 	merged := runScan(buf, shards, q, topK, minSim, pool, totalCand, scoreCands)
-	if n := ix.Len(); len(merged) < topK && totalCand < n {
+	if n := ix.Len(); len(merged) < topK && totalCand < n && !q.cancel.canceled() {
 		// Fallback: score only the records the candidate pass skipped
 		// (each shard's bitset marks its probed rows), so no record is
 		// scored twice and the merged set matches an exact scan.
 		merged = runScan(buf, shards, q, topK, minSim, pool, n-totalCand, scanRest)
+	}
+	if err := q.cancel.err(); err != nil {
+		return nil, err
 	}
 	return finishResults(merged, topK), nil
 }

@@ -212,6 +212,9 @@ func (sh *shard) scanAppend(dst []Result, q *packedQuery, minSim float64) []Resu
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	for i := range sh.names {
+		if i%cancelCheckEvery == 0 && q.cancel.canceled() {
+			return dst
+		}
 		dst = sh.scoreRow(dst, q, minSim, int32(i))
 	}
 	return dst
@@ -256,11 +259,17 @@ func (sh *shard) scoreCandidates(dst []Result, q *packedQuery, minSim float64, s
 	if sc.gen != sh.structGen {
 		sc.fullScanned = true
 		for i := range sh.names {
+			if i%cancelCheckEvery == 0 && q.cancel.canceled() {
+				return dst
+			}
 			dst = sh.scoreRow(dst, q, minSim, int32(i))
 		}
 		return dst
 	}
-	for _, idx := range sc.cands {
+	for i, idx := range sc.cands {
+		if i%cancelCheckEvery == 0 && q.cancel.canceled() {
+			return dst
+		}
 		dst = sh.scoreRow(dst, q, minSim, idx)
 	}
 	return dst
@@ -282,6 +291,9 @@ func (sh *shard) scanRestAppend(dst []Result, q *packedQuery, minSim float64, sc
 	}
 	probed := len(sc.candSet) << 6
 	for i := range sh.names {
+		if i%cancelCheckEvery == 0 && q.cancel.canceled() {
+			return dst
+		}
 		if i < probed && sc.candSet[i>>6]&(1<<uint(i&63)) != 0 {
 			continue
 		}
@@ -322,6 +334,9 @@ func (sh *shard) tieredScanAppend(dst []Result, q *packedQuery, minSim float64, 
 	defer sh.mu.RUnlock()
 	sc.scored = sc.scored[:0]
 	for i := range sh.names {
+		if i%cancelCheckEvery == 0 && q.cancel.canceled() {
+			return dst
+		}
 		sh.prefilterRow(q, minSim, int32(i), sc)
 	}
 	return sh.tieredRescore(dst, q, minSim, topK, sc, len(sh.names))
@@ -337,11 +352,17 @@ func (sh *shard) tieredScoreCandidates(dst []Result, q *packedQuery, minSim floa
 	if sc.gen != sh.structGen {
 		sc.fullScanned = true
 		for i := range sh.names {
+			if i%cancelCheckEvery == 0 && q.cancel.canceled() {
+				return dst
+			}
 			sh.prefilterRow(q, minSim, int32(i), sc)
 		}
 		return sh.tieredRescore(dst, q, minSim, topK, sc, len(sh.names))
 	}
-	for _, idx := range sc.cands {
+	for i, idx := range sc.cands {
+		if i%cancelCheckEvery == 0 && q.cancel.canceled() {
+			return dst
+		}
 		sh.prefilterRow(q, minSim, idx, sc)
 	}
 	return sh.tieredRescore(dst, q, minSim, topK, sc, len(sc.cands))
@@ -359,6 +380,9 @@ func (sh *shard) tieredScanRest(dst []Result, q *packedQuery, minSim float64, to
 	sc.scored = sc.scored[:0]
 	n := 0
 	for i := range sh.names {
+		if i%cancelCheckEvery == 0 && q.cancel.canceled() {
+			return dst
+		}
 		if i < probed && sc.candSet[i>>6]&(1<<uint(i&63)) != 0 {
 			continue
 		}
@@ -416,8 +440,13 @@ func (sh *shard) tieredRescore(dst []Result, q *packedQuery, minSim float64, top
 	base := len(dst)
 	rescored := 0
 	slotsF := float64(q.slots)
-	for _, c := range sc.scored {
+	for ci, c := range sc.scored {
 		if budget > 0 && rescored >= budget {
+			break
+		}
+		// Rescore rows are disk reads, so poll cancellation on a much
+		// shorter stride than the in-memory scans.
+		if ci&63 == 0 && q.cancel.canceled() {
 			break
 		}
 		if len(dst)-base >= topK && float64(c.matched)/slotsF < dst[base].Similarity {

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"sketchengine/internal/fault"
 )
 
 // DefaultSegmentRows is how many records a shard's mutable head holds
@@ -138,6 +140,9 @@ func (fs *fullStore) sealHead() error {
 	rows := fs.headRows()
 	if rows == 0 {
 		return nil
+	}
+	if err := fault.Check("segment.seal"); err != nil {
+		return fmt.Errorf("tier: seal shard %d: %w", fs.shardID, err)
 	}
 	path, err := fs.freshSegPath(fs.headBase)
 	if err != nil {

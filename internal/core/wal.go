@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"sketchengine/internal/fault"
 )
 
 // Per-shard write-ahead log. Every acknowledged add or delete on a
@@ -190,12 +192,19 @@ func (w *shardWAL) sync() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
+	if ferr := fault.Check("wal.write"); ferr != nil {
+		w.buf = w.buf[:0]
+		return fmt.Errorf("wal: %s: %w", w.path, ferr)
+	}
 	_, err := w.f.Write(w.buf)
 	w.buf = w.buf[:0]
 	if err != nil {
 		return fmt.Errorf("wal: %s: %w", w.path, err)
 	}
 	start := time.Now()
+	if ferr := fault.Check("wal.fsync"); ferr != nil {
+		return fmt.Errorf("wal: fsync %s: %w", w.path, ferr)
+	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync %s: %w", w.path, err)
 	}

@@ -1,0 +1,251 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                        // empty spec
+		";;",                      // only empty clauses
+		"wal.fsync",               // no kind
+		"wal.fsync:",              // empty kind
+		":error",                  // empty name
+		"wal.fsync:explode",       // unknown kind
+		"wal.fsync:delay",         // delay without duration
+		"wal.fsync:delay=banana",  // bad duration
+		"wal.fsync:delay=-5ms",    // negative duration
+		"wal.fsync:error=2",       // prob > 1
+		"wal.fsync:error=-0.1",    // prob < 0
+		"wal.fsync:error=0.5@0.5", // both =prob and @prob
+		"wal.fsync:error@nope",    // bad @prob
+		"wal.fsync:fail-once=1",   // fail-once takes no param
+	}
+	for _, spec := range cases {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestParseAccepts(t *testing.T) {
+	p, err := Parse("backend.rt:error=0.1; wal.fsync:fail-once ;backend.rt:delay=50ms@0.2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.order) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(p.order))
+	}
+	keys := p.CounterKeys()
+	want := []string{"backend.rt:delay", "backend.rt:error", "wal.fsync:fail-once"}
+	if len(keys) != len(want) {
+		t.Fatalf("CounterKeys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("CounterKeys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestSeededReplay(t *testing.T) {
+	run := func(seed int64) []bool {
+		p, err := Parse("p:error=0.5", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.evaluate("p") != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at evaluation %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 64-roll schedule (suspicious)")
+	}
+}
+
+func TestFailOnce(t *testing.T) {
+	p, err := Parse("wal.fsync:fail-once", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	err = Check("wal.fsync")
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Point != "wal.fsync" || inj.Kind != KindFailOnce {
+		t.Fatalf("first Check = %v, want injected fail-once", err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := Check("wal.fsync"); err != nil {
+			t.Fatalf("Check %d after fail-once fired = %v, want nil", i, err)
+		}
+	}
+	if got := p.Counters()["wal.fsync:fail-once"]; got != 1 {
+		t.Fatalf("fail-once fired %d times, want 1", got)
+	}
+}
+
+func TestDisarmedFastPath(t *testing.T) {
+	Disable()
+	if Point("anything") != nil {
+		t.Fatal("Point with no armed plan must be nil")
+	}
+	if err := Check("anything"); err != nil {
+		t.Fatalf("Check with no armed plan = %v, want nil", err)
+	}
+	if Active() != nil {
+		t.Fatal("Active with no armed plan must be nil")
+	}
+}
+
+func TestUnmatchedPointIsFree(t *testing.T) {
+	p, err := Parse("other.point:error", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	if err := Check("wal.fsync"); err != nil {
+		t.Fatalf("Check on an unmatched point = %v, want nil", err)
+	}
+	if p.Injected() != 0 {
+		t.Fatal("unmatched point must not count an injection")
+	}
+}
+
+func TestDelayAccumulatesAndCounts(t *testing.T) {
+	p, err := Parse("p:delay=1ms;p:delay=2ms;p:error", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.evaluate("p")
+	if d == nil || d.Delay != 3*time.Millisecond || d.Kind != KindError {
+		t.Fatalf("decision = %+v, want 3ms delay + error", d)
+	}
+	if p.Injected() != 3 {
+		t.Fatalf("Injected = %d, want 3", p.Injected())
+	}
+}
+
+func TestRoundTripperError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+	p, err := Parse("backend.rt:error", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	rt := &RoundTripper{Point: "backend.rt", Base: http.DefaultTransport}
+	hc := &http.Client{Transport: rt}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("injected error status = %d, want 503", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"error"`) {
+		t.Fatalf("injected 503 body = %s, want an error envelope", body)
+	}
+}
+
+func TestRoundTripperReset(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	p, err := Parse("backend.rt:reset", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	hc := &http.Client{Transport: &RoundTripper{Point: "backend.rt", Base: http.DefaultTransport}}
+	_, err = hc.Get(ts.URL)
+	if err == nil {
+		t.Fatal("injected reset must surface as a transport error")
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Kind != KindReset {
+		t.Fatalf("reset error = %v, want InjectedError{reset}", err)
+	}
+}
+
+func TestRoundTripperTorn(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(payload))
+	}))
+	defer ts.Close()
+	p, err := Parse("backend.rt:torn", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	hc := &http.Client{Transport: &RoundTripper{Point: "backend.rt", Base: http.DefaultTransport}}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("torn body must end in an error, not EOF")
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Kind != KindTorn {
+		t.Fatalf("torn read error = %v, want InjectedError{torn}", err)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("torn body delivered %d of %d bytes; it must truncate", len(got), len(payload))
+	}
+}
+
+func TestRoundTripperDelayRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	p, err := Parse("backend.rt:delay=10s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	hc := &http.Client{
+		Transport: &RoundTripper{Point: "backend.rt", Base: http.DefaultTransport},
+		Timeout:   50 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err = hc.Get(ts.URL)
+	if err == nil {
+		t.Fatal("want timeout error through an injected 10s delay")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delay ignored the request context: took %v", elapsed)
+	}
+}

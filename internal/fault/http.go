@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RoundTripper wraps an http.RoundTripper with a faultpoint evaluated
+// once per request. Fault kinds map to transport failure modes:
+//
+//	delay — sleep before forwarding (canceled by the request context)
+//	reset, fail-once — the request fails with a transport error, as if
+//	  the connection were reset mid-flight
+//	error — a synthesized 503 response (the backend "answered" with a
+//	  server error; no bytes reach the real backend)
+//	torn — the real response's body is truncated mid-stream
+type RoundTripper struct {
+	Point string
+	Base  http.RoundTripper
+}
+
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := Point(rt.Point)
+	if d == nil {
+		return rt.Base.RoundTrip(req)
+	}
+	if d.Delay > 0 {
+		t := time.NewTimer(d.Delay)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	switch d.Kind {
+	case KindReset, KindFailOnce:
+		// Drain nothing; fail as the transport would on a reset peer.
+		return nil, &InjectedError{Point: rt.Point, Kind: d.Kind}
+	case KindError:
+		body := `{"error":{"code":"internal","message":"fault: injected 503"}}`
+		resp := &http.Response{
+			StatusCode:    http.StatusServiceUnavailable,
+			Status:        "503 Service Unavailable",
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		resp.Header.Set("Content-Length", strconv.Itoa(len(body)))
+		return resp, nil
+	}
+	resp, err := rt.Base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind == KindTorn {
+		// Let roughly half the advertised body through, then cut the
+		// stream so the caller sees a mid-body EOF.
+		limit := int64(64)
+		if resp.ContentLength > 1 {
+			limit = resp.ContentLength / 2
+		}
+		resp.Body = &tornBody{rc: resp.Body, remain: limit, point: rt.Point}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+type tornBody struct {
+	rc     io.ReadCloser
+	remain int64
+	point  string
+}
+
+func (t *tornBody) Read(p []byte) (int, error) {
+	if t.remain <= 0 {
+		return 0, &InjectedError{Point: t.point, Kind: KindTorn}
+	}
+	if int64(len(p)) > t.remain {
+		p = p[:t.remain]
+	}
+	n, err := t.rc.Read(p)
+	t.remain -= int64(n)
+	if err == nil && t.remain <= 0 {
+		err = &InjectedError{Point: t.point, Kind: KindTorn}
+	}
+	return n, err
+}
+
+func (t *tornBody) Close() error { return t.rc.Close() }

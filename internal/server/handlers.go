@@ -2,14 +2,17 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"sketchengine/internal/core"
+	"sketchengine/internal/fault"
 )
 
 // IngestRecord is one record in an ingest request body. Data carries
@@ -120,25 +123,32 @@ type HealthResponse struct {
 }
 
 // StatsResponse is the body of GET /stats: engine/index state plus the
-// server's request and ingest counters.
+// server's request and ingest counters. Faults appears only while a
+// fault-injection spec is armed: injected-fault counts keyed
+// "point:kind", so chaos runs can attribute failures to the spec.
 type StatsResponse struct {
-	Engine        core.Stats   `json:"engine"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Requests      RequestStats `json:"requests"`
-	Ingest        IngestStats  `json:"ingest"`
-	Snapshots     int64        `json:"snapshots"`
+	Engine        core.Stats       `json:"engine"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      RequestStats     `json:"requests"`
+	Ingest        IngestStats      `json:"ingest"`
+	Snapshots     int64            `json:"snapshots"`
+	Faults        map[string]int64 `json:"faults,omitempty"`
 }
 
-// RequestStats are the middleware counters.
+// RequestStats are the middleware counters. DeadlineExceeded counts
+// searches aborted by an expired propagated deadline (504s); Canceled
+// counts searches aborted because the caller disconnected mid-scan.
 type RequestStats struct {
-	Total        int64 `json:"total"`
-	Status2xx    int64 `json:"status_2xx"`
-	Status4xx    int64 `json:"status_4xx"`
-	Status5xx    int64 `json:"status_5xx"`
-	InFlight     int64 `json:"in_flight"`
-	PeakInFlight int64 `json:"peak_in_flight"`
-	MaxInFlight  int   `json:"max_in_flight"`
-	Searches     int64 `json:"searches"`
+	Total            int64 `json:"total"`
+	Status2xx        int64 `json:"status_2xx"`
+	Status4xx        int64 `json:"status_4xx"`
+	Status5xx        int64 `json:"status_5xx"`
+	InFlight         int64 `json:"in_flight"`
+	PeakInFlight     int64 `json:"peak_in_flight"`
+	MaxInFlight      int   `json:"max_in_flight"`
+	Searches         int64 `json:"searches"`
+	DeadlineExceeded int64 `json:"deadline_exceeded,omitempty"`
+	Canceled         int64 `json:"canceled,omitempty"`
 }
 
 // IngestStats describe the batching queue's behavior: Batches is the
@@ -213,11 +223,21 @@ const (
 	CodeOverloaded       = "overloaded"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeInternal         = "internal"
+	// CodeDeadlineExceeded (504): the request carried a deadline (the
+	// coordinator's X-Sketch-Deadline header or the fan-out context) and
+	// it expired before the work finished; in-flight scoring was aborted.
+	CodeDeadlineExceeded = "deadline_exceeded"
 	// CodeCursorGone (410): a GET /v1/records cursor names a record
 	// that has since been deleted, so the walk cannot prove where to
 	// resume. Restart the enumeration from the beginning.
 	CodeCursorGone = "cursor_gone"
 )
+
+// DeadlineHeader carries a request's absolute deadline, as integer Unix
+// milliseconds, from the cluster coordinator to a backend. An absolute
+// timestamp (rather than a remaining-time duration) means queueing and
+// network delays eat into the budget instead of silently extending it.
+const DeadlineHeader = "X-Sketch-Deadline"
 
 // CodeForStatus maps a bare HTTP status (from the routing layer, which
 // never picks its own slug) to the closest error code.
@@ -233,6 +253,8 @@ func CodeForStatus(status int) string {
 		return CodeQueueFull
 	case http.StatusServiceUnavailable:
 		return CodeOverloaded
+	case http.StatusGatewayTimeout:
+		return CodeDeadlineExceeded
 	default:
 		if status >= 500 {
 			return CodeInternal
@@ -334,10 +356,36 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("search: k must be positive, got %d", k))
 		return
 	}
+	// Honor a propagated coordinator deadline: the scoring loops poll
+	// the derived context, so an expired budget aborts the scan instead
+	// of computing an answer nobody is waiting for. The caller-gone case
+	// (r.Context() canceled) rides the same context.
+	ctx := r.Context()
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, perr := strconv.ParseInt(h, 10, 64)
+		if perr != nil {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("search: malformed %s header %q: want Unix milliseconds", DeadlineHeader, h))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.UnixMilli(ms))
+		defer cancel()
+	}
 	s.metrics.searches.Add(1)
-	results, err := s.eng.SearchMode(core.Record{Name: req.Name, Data: []byte(req.Data)}, mode, k, req.MinSimilarity)
+	results, err := s.eng.SearchModeCtx(ctx, core.Record{Name: req.Name, Data: []byte(req.Data)}, mode, k, req.MinSimilarity)
 	if err != nil {
-		WriteError(w, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("search: %v", err))
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.metrics.deadlineExceeded.Add(1)
+			WriteError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				"search: deadline exceeded before scoring finished")
+		case errors.Is(err, context.Canceled):
+			s.metrics.searchCanceled.Add(1)
+			WriteError(w, http.StatusServiceUnavailable, CodeCanceled, "search: request canceled by the caller")
+		default:
+			WriteError(w, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("search: %v", err))
+		}
 		return
 	}
 	// The hit slice and the response struct come from pools: WriteJSON
@@ -550,18 +598,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics
+	var faults map[string]int64
+	if p := fault.Active(); p != nil {
+		faults = p.Counters()
+	}
 	WriteJSON(w, http.StatusOK, StatsResponse{
+		Faults: faults,
 		Engine:        s.eng.Stats(),
 		UptimeSeconds: m.uptime().Seconds(),
 		Requests: RequestStats{
-			Total:        m.requests.Load(),
-			Status2xx:    m.status2xx.Load(),
-			Status4xx:    m.status4xx.Load(),
-			Status5xx:    m.status5xx.Load(),
-			InFlight:     m.inFlight.Load(),
-			PeakInFlight: m.peakInFlight.Load(),
-			MaxInFlight:  s.cfg.MaxInFlight,
-			Searches:     m.searches.Load(),
+			Total:            m.requests.Load(),
+			Status2xx:        m.status2xx.Load(),
+			Status4xx:        m.status4xx.Load(),
+			Status5xx:        m.status5xx.Load(),
+			InFlight:         m.inFlight.Load(),
+			PeakInFlight:     m.peakInFlight.Load(),
+			MaxInFlight:      s.cfg.MaxInFlight,
+			Searches:         m.searches.Load(),
+			DeadlineExceeded: m.deadlineExceeded.Load(),
+			Canceled:         m.searchCanceled.Load(),
 		},
 		Ingest: IngestStats{
 			Requests:       m.ingestRequests.Load(),

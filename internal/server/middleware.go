@@ -31,6 +31,9 @@ type metrics struct {
 	batchedRecords atomic.Int64 // records across those calls
 	snapshots      atomic.Int64
 
+	deadlineExceeded atomic.Int64 // searches aborted by an expired deadline (504s)
+	searchCanceled   atomic.Int64 // searches aborted because the caller went away
+
 	// histMu guards registration only; routes() registers every endpoint
 	// once at startup and handlers observe through the returned pointer.
 	histMu    sync.Mutex

@@ -6,6 +6,9 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
+
+	"sketchengine/internal/fault"
 )
 
 // handleMetrics renders the server's counters in the Prometheus text
@@ -42,6 +45,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("ingest_queue_depth", "Ingest requests currently queued.", float64(s.ingest.depth()))
 	gauge("ingest_queue_capacity", "Ingest queue capacity.", float64(s.cfg.QueueDepth))
 	counter("snapshots_total", "Snapshots written.", m.snapshots.Load())
+	counter("search_deadline_exceeded_total", "Searches aborted by an expired propagated deadline.", m.deadlineExceeded.Load())
+	counter("search_canceled_total", "Searches aborted by caller disconnect.", m.searchCanceled.Load())
+	writeFaultMetrics(&buf)
 
 	gauge("records", "Live records in the index.", float64(st.Records))
 	gauge("dead_rows", "Tombstoned rows awaiting compaction.", float64(st.DeadRows))
@@ -74,6 +80,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf.Bytes())
 }
+
+// writeFaultMetrics emits injected-fault counters when a fault plan is
+// armed, one labeled series per point:kind rule, and nothing otherwise
+// — scrape output is unchanged in normal operation. Exported through
+// WriteFaultMetrics for the cluster coordinator's /metrics.
+func writeFaultMetrics(w io.Writer) {
+	p := fault.Active()
+	if p == nil {
+		return
+	}
+	counts := p.Counters()
+	fmt.Fprintf(w, "# HELP sketchengine_fault_injections_total Faults injected by the armed fault spec, by point and kind.\n# TYPE sketchengine_fault_injections_total counter\n")
+	for _, key := range p.CounterKeys() {
+		point, kind, _ := strings.Cut(key, ":")
+		fmt.Fprintf(w, "sketchengine_fault_injections_total{point=%q,kind=%q} %d\n", point, kind, counts[key])
+	}
+	fmt.Fprintf(w, "# HELP sketchengine_fault_spec_armed Whether a fault-injection spec is armed.\n# TYPE sketchengine_fault_spec_armed gauge\nsketchengine_fault_spec_armed 1\n")
+}
+
+// WriteFaultMetrics is writeFaultMetrics for other packages' /metrics
+// renderers (the cluster coordinator).
+func WriteFaultMetrics(w io.Writer) { writeFaultMetrics(w) }
 
 // WritePromHistogram renders h as one Prometheus histogram series named
 // metric with the given preformatted label pair (e.g. `endpoint="x"`):

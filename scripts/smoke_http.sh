@@ -328,4 +328,85 @@ done
 curl -fsS "http://$victim_addr/v1/records/omega.txt" \
     | grep -q '"name":"omega.txt"' || fail4 "recovered backend cannot serve the write it missed"
 
+# ---------------------------------------------------------------------
+# Phase 5: resilience under injected faults. Replace the coordinator
+# with one that has -fault-spec armed: every outgoing backend call rolls
+# for an injected 5xx or added latency. Traffic through that coordinator
+# must still converge — ingest acks (retried by the client on quorum
+# failure, which is the documented contract), searches return the
+# planted hit with no partial flag, and the armed faults are advertised
+# in /stats and /metrics. Also proves the deadline path: an already-
+# expired X-Sketch-Deadline gets an explicit 504, never a truncation.
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+"$tmp/engine" serve -coordinator \
+    -backends "$(IFS=,; echo "${heal_addrs[*]}")" -replication 3 \
+    -health-every 100ms -addr 127.0.0.1:0 \
+    -fault-spec 'backend.rt:delay=5ms@0.3;backend.rt:error=0.1' -fault-seed 42 \
+    >"$tmp/coord3.out" 2>"$tmp/coord3.err" &
+serve_pid=$!
+
+addr="$(wait_addr "$tmp/coord3.out")"
+if [[ -z "$addr" ]]; then
+    echo "smoke: chaos coordinator never reported its address" >&2
+    cat "$tmp/coord3.err" >&2
+    exit 1
+fi
+base="http://$addr"
+fail5() {
+    echo "smoke: $1" >&2
+    cat "$tmp/coord3.err" >&2
+    exit 1
+}
+
+grep -q 'FAULT INJECTION ARMED' "$tmp/coord3.err" || fail5 "armed fault spec was not announced on stderr"
+
+# Ingest through the faults. A roll of injected errors can fail quorum
+# for a record (502 quorum_failed) — acked records are never rolled
+# back, so the client-side retry loop below is the documented recovery.
+ingested=""
+for _ in $(seq 1 10); do
+    code="$(curl -s -o "$tmp/chaos-ingest.json" -w '%{http_code}' \
+        -X POST -H 'Content-Type: application/json' -d "$body" "$base/v1/records")"
+    if [[ "$code" == "200" ]] && grep -q '"added":3' "$tmp/chaos-ingest.json"; then
+        ingested=1
+        break
+    fi
+    grep -q '"code":"quorum_failed"\|"code":"backend_down"' "$tmp/chaos-ingest.json" \
+        || fail5 "chaos ingest failed with an unexpected body: $(cat "$tmp/chaos-ingest.json")"
+    sleep 0.2
+done
+[[ -n "$ingested" ]] || fail5 "ingest never reached quorum through the injected faults"
+
+# Searches through the fault window: with replication=3 every live
+# backend holds every record, so a response may only be partial if ALL
+# backends fail — injected errors must be absorbed by the retry wave.
+for i in $(seq 1 10); do
+    out="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"name": "q", "data": "the quick brown fox jumps over the lazy dog and keeps running through the quiet forest until dusk", "k": 2}' \
+        "$base/v1/search")" || fail5 "chaos search $i errored outright"
+    grep -q '"ref":"alpha.txt"' <<<"$out" || fail5 "chaos search $i lost the planted hit"
+    if grep -q '"partial":true' <<<"$out"; then
+        fail5 "chaos search $i degraded to partial despite replication=3"
+    fi
+done
+
+# An expired deadline is an explicit 504, straight from a backend.
+code="$(curl -s -o "$tmp/deadline.json" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' -H 'X-Sketch-Deadline: 1' \
+    -d '{"name": "q", "data": "whatever", "k": 1}' "http://${heal_addrs[1]}/v1/search")"
+[[ "$code" == "504" ]] || fail5 "expired deadline returned $code, want 504"
+grep -q '"code":"deadline_exceeded"' "$tmp/deadline.json" || fail5 "504 body is not the deadline envelope"
+
+# The armed spec and its injection counts are observable.
+stats="$(curl -fsS "$base/stats")"
+grep -q '"faults":{' <<<"$stats" || fail5 "/stats does not advertise the armed fault spec"
+grep -q '"retry_budget":{' <<<"$stats" || fail5 "/stats missing the retry budget block"
+metrics="$(curl -fsS "$base/metrics")"
+grep -q '^sketchengine_fault_spec_armed 1' <<<"$metrics" || fail5 "/metrics missing the armed-spec gauge"
+grep -q '^sketchengine_fault_injections_total' <<<"$metrics" || fail5 "/metrics missing injection counters after traffic"
+grep -q '^sketchengine_cluster_backend_breaker_state' <<<"$metrics" || fail5 "/metrics missing breaker state series"
+
 echo "smoke: ok"
